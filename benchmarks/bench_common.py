@@ -1,0 +1,170 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index).  Experiments print a paper-vs-measured table; the
+tables are buffered and dumped both to ``benchmarks/results/`` and to the
+terminal after pytest's capture ends, so ``pytest benchmarks/
+--benchmark-only`` shows them inline.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE``: linear suite scale (default 1/256; smaller is
+  faster and proportionally shrinks on-chip capacities).
+- ``REPRO_BENCH_PR_STEPS``: PageRank supersteps in timing runs (default 5).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro import (
+    LigraConfig,
+    LigraModel,
+    NovaSystem,
+    PolyGraphConfig,
+    PolyGraphSystem,
+    scaled_config,
+)
+from repro.core.metrics import RunResult
+from repro.graph import suites
+from repro.graph.generators import with_uniform_weights
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1.0 / 256.0))
+PR_STEPS = int(os.environ.get("REPRO_BENCH_PR_STEPS", 5))
+
+_REPORTS: List[str] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(title: str, lines: List[str]) -> None:
+    """Record one experiment's table for the terminal summary and disk."""
+    block = "\n".join([f"== {title} ==", *lines, ""])
+    _REPORTS.append(block)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    # Keep enough of the title to make every experiment's file unique
+    # (all seven ablations would otherwise collide on one name).
+    stem = "".join(c if c.isalnum() else "_" for c in title.lower()).strip("_")
+    while "__" in stem:
+        stem = stem.replace("__", "_")
+    filename = stem[:72] + ".txt"
+    with open(os.path.join(_RESULTS_DIR, filename), "w", encoding="utf-8") as f:
+        f.write(block)
+
+
+# ----------------------------------------------------------------------
+# Graphs and sources
+# ----------------------------------------------------------------------
+
+_WEIGHTED_CACHE: Dict[str, object] = {}
+_SOURCE_CACHE: Dict[str, int] = {}
+
+
+def bench_graph(name: str):
+    return suites.build_graph(name, scale=BENCH_SCALE)
+
+
+def bench_weighted_graph(name: str):
+    if name not in _WEIGHTED_CACHE:
+        _WEIGHTED_CACHE[name] = with_uniform_weights(bench_graph(name), seed=7)
+    return _WEIGHTED_CACHE[name]
+
+
+def bench_symmetric_graph(name: str):
+    key = name + ":sym"
+    if key not in _WEIGHTED_CACHE:
+        _WEIGHTED_CACHE[key] = bench_graph(name).symmetrized()
+    return _WEIGHTED_CACHE[key]
+
+
+def bench_source(name: str) -> int:
+    if name not in _SOURCE_CACHE:
+        graph = bench_graph(name)
+        _SOURCE_CACHE[name] = int(np.argmax(graph.out_degrees()))
+    return _SOURCE_CACHE[name]
+
+
+# ----------------------------------------------------------------------
+# Systems and memoized runs
+# ----------------------------------------------------------------------
+
+def nova_config(num_gpns: int = 1, **updates):
+    cfg = scaled_config(num_gpns=num_gpns, scale=BENCH_SCALE)
+    return cfg.with_updates(**updates) if updates else cfg
+
+
+def polygraph_config(onchip_bytes: Optional[int] = None, **kwargs):
+    if onchip_bytes is None:
+        onchip_bytes = suites.scaled_onchip_bytes(BENCH_SCALE)
+    return PolyGraphConfig(onchip_bytes=onchip_bytes, **kwargs)
+
+
+_RUN_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def _graph_for(workload: str, graph_name: str):
+    if workload == "sssp":
+        return bench_weighted_graph(graph_name)
+    if workload == "cc":
+        return bench_symmetric_graph(graph_name)
+    return bench_graph(graph_name)
+
+
+def _workload_kwargs(workload: str) -> dict:
+    return {"max_supersteps": PR_STEPS} if workload == "pr" else {}
+
+
+def _source_for(workload: str, graph_name: str) -> Optional[int]:
+    return None if workload in ("cc", "pr") else bench_source(graph_name)
+
+
+def run_nova(
+    workload: str, graph_name: str, num_gpns: int = 1, **config_updates
+) -> RunResult:
+    """Memoized NOVA run at bench scale (random placement, paper default)."""
+    key = ("nova", workload, graph_name, num_gpns, tuple(sorted(config_updates.items())))
+    if key not in _RUN_CACHE:
+        system = NovaSystem(
+            nova_config(num_gpns, **config_updates),
+            _graph_for(workload, graph_name),
+            placement="random",
+        )
+        _RUN_CACHE[key] = system.run(
+            workload,
+            source=_source_for(workload, graph_name),
+            **_workload_kwargs(workload),
+        )
+    return _RUN_CACHE[key]
+
+
+def run_polygraph(
+    workload: str, graph_name: str, onchip_bytes: Optional[int] = None
+) -> RunResult:
+    key = ("pg", workload, graph_name, onchip_bytes)
+    if key not in _RUN_CACHE:
+        system = PolyGraphSystem(
+            polygraph_config(onchip_bytes), _graph_for(workload, graph_name)
+        )
+        _RUN_CACHE[key] = system.run(
+            workload,
+            source=_source_for(workload, graph_name),
+            **_workload_kwargs(workload),
+        )
+    return _RUN_CACHE[key]
+
+
+def run_ligra(workload: str, graph_name: str) -> RunResult:
+    key = ("ligra", workload, graph_name)
+    if key not in _RUN_CACHE:
+        model = LigraModel(LigraConfig(), _graph_for(workload, graph_name))
+        _RUN_CACHE[key] = model.run(
+            workload,
+            source=_source_for(workload, graph_name),
+            **_workload_kwargs(workload),
+        )
+    return _RUN_CACHE[key]
+
+

@@ -1,0 +1,33 @@
+"""Pytest hooks and fixtures for the benchmark suite.
+
+The experiment helpers live in :mod:`bench_common`; this file only wires
+the terminal-summary hook (so result tables print after capture ends)
+and the ``once`` fixture for single-shot pytest-benchmark timing.
+"""
+
+import pytest
+
+import bench_common
+
+
+def pytest_terminal_summary(terminalreporter):  # pragma: no cover - hook
+    if not bench_common._REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction results")
+    for block in bench_common._REPORTS:
+        terminalreporter.write_line(block)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Simulation experiments are deterministic and expensive; repeated
+    rounds would multiply minutes of work for no statistical gain.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

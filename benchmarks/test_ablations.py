@@ -1,0 +1,283 @@
+"""Ablations of NOVA's design choices (beyond the paper's own figures).
+
+- **Spilling method** (Table I, made dynamic): the tracker's
+  overwrite-in-vertex-set spilling vs an off-chip FIFO buffer.
+- **Reduction priority** (Section I): giving reduction first claim on
+  vertex-channel bandwidth vs free-running prefetch.
+- **Active buffer depth** (Section III-D): the paper observed
+  diminishing returns beyond 80 entries.
+- **Async vs BSP execution** (Section II-B): NOVA supports both; async
+  pipelines levels, BSP gets perfect work efficiency.
+"""
+
+import pytest
+
+from bench_common import emit, run_nova
+
+GRAPH = "twitter"
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_spilling_method(once):
+    def experiment():
+        return run_nova("bfs", GRAPH), run_nova("bfs", GRAPH, vmu_mode="fifo")
+
+    tracker, fifo = once(experiment)
+    lines = [
+        f"{'method':>10} {'time(ms)':>9} {'spills':>9} {'waste MB':>9} "
+        f"{'write MB':>9} {'coalesce':>9}",
+        f"{'tracker':>10} {tracker.elapsed_seconds * 1e3:>9.3f} "
+        f"{tracker.activations:>9,} "
+        f"{tracker.traffic['hbm_wasteful_read_bytes'] / 1e6:>9.1f} "
+        f"{tracker.traffic['hbm_write_bytes'] / 1e6:>9.1f} "
+        f"{tracker.coalescing_rate:>9.1%}",
+        f"{'fifo':>10} {fifo.elapsed_seconds * 1e3:>9.3f} "
+        f"{fifo.activations:>9,} "
+        f"{fifo.traffic['hbm_wasteful_read_bytes'] / 1e6:>9.1f} "
+        f"{fifo.traffic['hbm_write_bytes'] / 1e6:>9.1f} "
+        f"{fifo.coalescing_rate:>9.1%}",
+        "Table I dynamics: the FIFO avoids search waste but spills "
+        "duplicate copies, writes twice per spill, and never coalesces",
+    ]
+    emit("Ablation: spilling method (BFS, twitter)", lines)
+
+    assert fifo.traffic["hbm_wasteful_read_bytes"] == 0
+    assert fifo.coalescing_rate == 0.0
+    # Two writes per spill (vertex set + buffer copy) cost write traffic.
+    assert fifo.traffic["hbm_write_bytes"] > tracker.traffic["hbm_write_bytes"]
+    assert fifo.activations >= 0.9 * tracker.activations
+    assert tracker.coalescing_rate > 0.1
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_reduction_priority(once):
+    def experiment():
+        return (
+            run_nova("bfs", "urand"),
+            run_nova("bfs", "urand", reduction_priority=False),
+        )
+
+    prioritized, free_running = once(experiment)
+    lines = [
+        f"{'mode':>12} {'time(ms)':>9} {'msgs(M)':>8} {'coalesce':>9}",
+        f"{'priority':>12} {prioritized.elapsed_seconds * 1e3:>9.3f} "
+        f"{prioritized.messages_sent / 1e6:>8.2f} "
+        f"{prioritized.coalescing_rate:>9.1%}",
+        f"{'free-run':>12} {free_running.elapsed_seconds * 1e3:>9.3f} "
+        f"{free_running.messages_sent / 1e6:>8.2f} "
+        f"{free_running.coalescing_rate:>9.1%}",
+        "Section I's insight: prioritizing reduction widens the "
+        "coalescing window and removes redundant propagations",
+    ]
+    emit("Ablation: reduction priority (BFS, urand)", lines)
+
+    assert prioritized.coalescing_rate >= free_running.coalescing_rate
+    assert prioritized.messages_sent <= free_running.messages_sent * 1.05
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_active_buffer_depth(once):
+    depths = (5, 20, 80, 320)
+
+    def experiment():
+        return [
+            run_nova("bfs", GRAPH, active_buffer_entries=depth)
+            for depth in depths
+        ]
+
+    runs = once(experiment)
+    lines = [f"{'entries':>8} {'time(ms)':>9} {'norm':>6}"]
+    base = runs[2].elapsed_seconds  # the paper's 80 entries
+    times = []
+    for depth, run in zip(depths, runs):
+        times.append(run.elapsed_seconds)
+        lines.append(
+            f"{depth:>8} {run.elapsed_seconds * 1e3:>9.3f} "
+            f"{run.elapsed_seconds / base:>6.2f}"
+        )
+    lines.append(
+        "paper: beyond 80 entries the buffer stops being the bottleneck "
+        "(diminishing returns)"
+    )
+    emit("Ablation: active buffer depth (BFS, twitter)", lines)
+
+    # Starved buffers hurt; quadrupling past 80 buys almost nothing.
+    assert times[0] > times[2]
+    assert abs(times[3] - times[2]) / times[2] < 0.25
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_pr_delta_order_sensitivity(once):
+    """Section V: the paper rejected PR-delta because its work is 'very
+    sensitive to the order of the traversal'.  We measure that: the same
+    computation under different vertex placements (hence different
+    processing orders) sends measurably different message counts."""
+    from repro import NovaSystem
+    from repro.graph.generators import rmat
+    from bench_common import nova_config
+
+    graph = rmat(13, 16, seed=3)
+    orders = (
+        ("random", 1), ("random", 7), ("interleave", 1),
+        ("locality", 1), ("load_balanced", 1),
+    )
+
+    def experiment():
+        counts = {}
+        for placement, seed in orders:
+            run = NovaSystem(
+                nova_config(1), graph, placement=placement, seed=seed
+            ).run("pr-delta", threshold=1e-5)
+            counts[f"{placement}/{seed}"] = run.messages_sent
+        bsp = NovaSystem(nova_config(1), graph, placement="random").run(
+            "pr", max_supersteps=30
+        )
+        return counts, bsp.messages_sent
+
+    counts, bsp_msgs = once(experiment)
+    spread = (max(counts.values()) - min(counts.values())) / min(
+        counts.values()
+    )
+    lines = [f"{'ordering':>18} {'messages':>12}"]
+    for name, msgs in counts.items():
+        lines.append(f"{name:>18} {msgs:>12,}")
+    lines.append(f"{'PR (BSP, 30 steps)':>18} {bsp_msgs:>12,}")
+    lines.append(
+        f"spread across orderings: {spread:.1%} -- the order sensitivity "
+        "that made the paper run PR in BSP mode (Section V)"
+    )
+    emit("Ablation: PR-delta traversal-order sensitivity", lines)
+
+    assert spread > 0.03  # measurably order-sensitive
+    # All orderings still converge to the same ranks (checked in tests).
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_memory_balance(once):
+    """Section IV-A: vertex memory needs ~4x the edge bandwidth [16].
+    Sweep the vertex channel's bandwidth and watch throughput saturate
+    once the system is balanced."""
+    from repro import NovaSystem
+    from dataclasses import replace
+    from bench_common import bench_graph, bench_source, nova_config
+
+    graph = bench_graph("twitter")
+    source = bench_source("twitter")
+    factors = (0.25, 0.5, 1.0, 2.0)
+
+    def experiment():
+        runs = []
+        for factor in factors:
+            cfg = nova_config(1)
+            channel = replace(
+                cfg.vertex_channel,
+                peak_bandwidth=cfg.vertex_channel.peak_bandwidth * factor,
+            )
+            cfg = cfg.with_updates(vertex_channel=channel)
+            runs.append(
+                NovaSystem(cfg, graph, placement="random").run(
+                    "bfs", source=source
+                )
+            )
+        return runs
+
+    runs = once(experiment)
+    lines = [f"{'vertex BW':>10} {'ratio v:e':>9} {'GTEPS':>6}"]
+    gteps = []
+    for factor, run in zip(factors, runs):
+        vertex_bw = 32 * factor * 8  # GB/s per GPN
+        lines.append(f"{vertex_bw:>8.0f}GB {vertex_bw / 76.8:>9.1f} "
+                     f"{run.gteps:>6.2f}")
+        gteps.append(run.gteps)
+    lines.append(
+        "paper's balance rule [16]: vertex memory needs ~4x edge "
+        "bandwidth; beyond balance, extra vertex bandwidth stops paying"
+    )
+    emit("Ablation: vertex/edge bandwidth balance (BFS, twitter)", lines)
+
+    # Starved vertex channel throttles throughput...
+    assert gteps[0] < gteps[2] * 0.7
+    # ...while doubling past the paper's provisioning gains little.
+    assert gteps[3] < gteps[2] * 1.6
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_preprocessing_amortization(once):
+    """Section II-C1: heavyweight reordering is hard to amortize
+    (Balaji et al.: RABBIT++ needed 1047 kernel runs).  We price each
+    placement's preprocessing and divide by its measured per-run
+    benefit over the free random mapping."""
+    from repro import NovaSystem
+    from repro.analysis.preprocessing import amortization
+    from bench_common import bench_graph, bench_source, nova_config
+
+    graph = bench_graph("twitter")
+    source = bench_source("twitter")
+
+    def experiment():
+        times = {}
+        for placement in ("random", "load_balanced", "locality"):
+            run = NovaSystem(nova_config(8), graph, placement=placement).run(
+                "bfs", source=source
+            )
+            times[placement] = run.elapsed_seconds
+        return times
+
+    times = once(experiment)
+    lines = []
+    reports = {}
+    for strategy in ("load_balanced", "locality"):
+        report = amortization(
+            graph, strategy,
+            strategy_run_seconds=times[strategy],
+            baseline_run_seconds=times["random"],
+        )
+        reports[strategy] = report
+        lines.append(report.row())
+    lines.append(
+        "paper argument: only lightweight placements amortize; "
+        "RABBIT-class reordering needs hundreds-to-thousands of runs "
+        "(or never pays back)"
+    )
+    emit("Ablation: preprocessing amortization (BFS, twitter)", lines)
+
+    # Heavy locality preprocessing takes far longer to amortize than the
+    # cheap degree sort (often forever on community-free graphs).
+    assert (
+        reports["locality"].amortization_runs
+        > reports["load_balanced"].amortization_runs
+        or reports["locality"].amortization_runs == float("inf")
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_async_vs_bsp(once):
+    from repro import NovaSystem
+    from repro.workloads import BSPAdapter, get_workload
+    from bench_common import bench_graph, bench_source, nova_config
+
+    graph = bench_graph(GRAPH)
+    source = bench_source(GRAPH)
+
+    def experiment():
+        system = NovaSystem(nova_config(1), graph, placement="random")
+        sync = system.run(BSPAdapter(get_workload("bfs")), source=source)
+        return run_nova("bfs", GRAPH), sync
+
+    async_run, sync_run = once(experiment)
+    lines = [
+        f"{'mode':>7} {'time(ms)':>9} {'edges(M)':>9} {'quanta':>7}",
+        f"{'async':>7} {async_run.elapsed_seconds * 1e3:>9.3f} "
+        f"{async_run.edges_traversed / 1e6:>9.2f} {async_run.quanta:>7}",
+        f"{'bsp':>7} {sync_run.elapsed_seconds * 1e3:>9.3f} "
+        f"{sync_run.edges_traversed / 1e6:>9.2f} {sync_run.quanta:>7}",
+        "BSP traverses each cone edge once (perfect work efficiency) but "
+        "serializes levels; async pipelines them at some redundancy",
+    ]
+    emit("Ablation: async vs BSP execution (BFS, twitter)", lines)
+
+    # BSP never does redundant work; on a low-diameter graph the barrier
+    # cost stays comparable to async pipelining (within 2x either way).
+    assert sync_run.edges_traversed <= async_run.edges_traversed
+    ratio = sync_run.elapsed_seconds / async_run.elapsed_seconds
+    assert 0.5 < ratio < 2.0

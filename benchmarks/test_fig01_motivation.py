@@ -1,0 +1,70 @@
+"""Figure 1: throughput vs graph size at iso-resources.
+
+Paper setup: both systems get 1.5 MiB of on-chip memory and 332.8 GB/s of
+memory bandwidth per node, BFS workload, growing uniform-random graphs.
+PolyGraph's GTEPS declines as slice counts grow; NOVA's stays flat.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NovaSystem, PolyGraphConfig, PolyGraphSystem
+from repro.graph.generators import uniform_random
+from repro.units import MiB
+
+from bench_common import BENCH_SCALE, emit, nova_config
+
+
+#: Graph-size sweep: vertices 4x each step (edge factor 16), spanning the
+#: one-slice regime where PolyGraph peaks through 170+ slices.
+SWEEP_SCALES = (10, 12, 14, 16, 18)
+
+#: Fig 1 gives PolyGraph the same 1.5 MiB on-chip budget as NOVA (scaled).
+FIG1_PG_ONCHIP = max(1024, int(1.5 * MiB * BENCH_SCALE))
+
+
+def _run_pair(scale: int):
+    graph = uniform_random(1 << scale, 16 << scale, seed=scale)
+    source = int(np.argmax(graph.out_degrees()))
+    nova = NovaSystem(nova_config(1), graph, placement="random").run(
+        "bfs", source=source
+    )
+    pg = PolyGraphSystem(
+        PolyGraphConfig(onchip_bytes=FIG1_PG_ONCHIP), graph
+    ).run("bfs", source=source)
+    return graph, nova, pg
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_gteps_vs_graph_size(once):
+    def experiment():
+        return [_run_pair(scale) for scale in SWEEP_SCALES]
+
+    rows = once(experiment)
+    lines = [
+        f"{'edges':>12} {'slices':>6} {'NOVA GTEPS':>11} {'PG GTEPS':>9}",
+    ]
+    nova_series, pg_series = [], []
+    for graph, nova, pg in rows:
+        # Graph500-style TEPS: input-graph edges over time, so redundant
+        # re-traversals do not inflate throughput (Section II-A).
+        nova_eff = graph.num_edges / nova.elapsed_seconds / 1e9
+        pg_eff = graph.num_edges / pg.elapsed_seconds / 1e9
+        lines.append(
+            f"{graph.num_edges:>12,} {pg.stats.get('slices'):>6} "
+            f"{nova_eff:>11.2f} {pg_eff:>9.2f}"
+        )
+        nova_series.append(nova_eff)
+        pg_series.append(pg_eff)
+    lines.append(
+        "paper shape: PG starts above NOVA and decays with graph size; "
+        "NOVA stays flat and wins at the large end"
+    )
+    emit("Fig 01: GTEPS vs graph size (BFS, iso 1.5 MiB + 332.8 GB/s)", lines)
+
+    # NOVA flat: smallest-to-largest within ~2x.
+    assert max(nova_series) / max(min(nova_series), 1e-9) < 2.5
+    # PolyGraph decays: the largest graph is well below its peak.
+    assert pg_series[-1] < max(pg_series) * 0.6
+    # Crossover: NOVA wins at the big end.
+    assert nova_series[-1] > pg_series[-1]

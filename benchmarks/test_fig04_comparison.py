@@ -1,0 +1,67 @@
+"""Figure 4: NOVA vs PolyGraph (iso-bandwidth) vs Ligra.
+
+Paper setup: both accelerators get 332.8 GB/s of off-chip bandwidth;
+NOVA uses 1.5 MiB of on-chip memory, PolyGraph 32 MiB.  Five graphs x
+five workloads (BFS/CC/SSSP asynchronous, PR/BC bulk-synchronous).
+
+Paper result: PolyGraph is up to ~30% faster on the small graphs (road,
+twitter); NOVA wins on friendster/host/urand, by 1.15x (host, PR) up to
+2.35x (urand, SSSP), and Ligra trails both accelerators.
+"""
+
+import pytest
+
+from bench_common import emit, run_ligra, run_nova, run_polygraph
+
+GRAPHS = ("road", "twitter", "friendster", "host", "urand")
+WORKLOADS = ("bfs", "cc", "sssp", "pr", "bc")
+
+
+@pytest.mark.benchmark(group="fig04")
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig04_workload(once, workload):
+    def experiment():
+        rows = []
+        for graph_name in GRAPHS:
+            nova = run_nova(workload, graph_name)
+            pg = run_polygraph(workload, graph_name)
+            ligra = run_ligra(workload, graph_name)
+            rows.append((graph_name, nova, pg, ligra))
+        return rows
+
+    rows = once(experiment)
+    lines = [
+        f"{'graph':>11} {'NOVA(ms)':>9} {'PG(ms)':>9} {'Ligra(ms)':>10} "
+        f"{'NOVA-speedup':>12}"
+    ]
+    speedups = {}
+    for graph_name, nova, pg, ligra in rows:
+        speedup = pg.elapsed_seconds / nova.elapsed_seconds
+        speedups[graph_name] = speedup
+        lines.append(
+            f"{graph_name:>11} {nova.elapsed_seconds * 1e3:>9.3f} "
+            f"{pg.elapsed_seconds * 1e3:>9.3f} "
+            f"{ligra.elapsed_seconds * 1e3:>10.3f} {speedup:>11.2f}x"
+        )
+    lines.append(
+        "paper shape: PG ahead on road/twitter, NOVA ahead on urand "
+        "(1.15x-2.35x across workloads)"
+    )
+    emit(f"Fig 04 ({workload}): NOVA vs PolyGraph vs Ligra", lines)
+
+    # NOVA's relative standing improves monotonically-in-spirit with
+    # graph size: best on urand, worse on the small graphs.
+    assert speedups["urand"] > speedups["road"]
+    assert speedups["urand"] > speedups["twitter"]
+    if workload in ("bfs", "sssp", "cc"):
+        # The async workloads show the urand crossover.
+        assert speedups["urand"] > 1.0
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_ligra_trails_accelerators(once):
+    def experiment():
+        return run_nova("bfs", "urand"), run_ligra("bfs", "urand")
+
+    nova, ligra = once(experiment)
+    assert nova.elapsed_seconds < ligra.elapsed_seconds

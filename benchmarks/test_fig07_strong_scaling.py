@@ -1,0 +1,57 @@
+"""Figure 7: strong scaling -- fixed graph, growing GPN count.
+
+Paper setup: BFS (data-driven) and BC (topology-driven) on the suite
+graphs with 1-8 GPNs.  Paper result: near-perfect scaling, worst case
+19% off ideal (twitter), and super-ideal scaling on urand thanks to
+work-efficiency gains.
+"""
+
+import pytest
+
+from bench_common import emit, run_nova
+
+GPN_SWEEP = (1, 2, 4, 8)
+GRAPHS = ("twitter", "urand")
+WORKLOADS = ("bfs", "bc")
+
+
+@pytest.mark.benchmark(group="fig07")
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig07_strong_scaling(once, workload):
+    def experiment():
+        table = {}
+        for graph_name in GRAPHS:
+            table[graph_name] = [
+                run_nova(workload, graph_name, num_gpns=gpns)
+                for gpns in GPN_SWEEP
+            ]
+        return table
+
+    table = once(experiment)
+    lines = [
+        f"{'graph':>9} "
+        + " ".join(f"{gpns:>2} GPN" for gpns in GPN_SWEEP)
+        + "   (speedup over 1 GPN; ideal = GPN count)"
+    ]
+    efficiencies = {}
+    for graph_name, runs in table.items():
+        base = runs[0].elapsed_seconds
+        speedups = [base / run.elapsed_seconds for run in runs]
+        efficiencies[graph_name] = speedups[-1] / GPN_SWEEP[-1]
+        lines.append(
+            f"{graph_name:>9} "
+            + " ".join(f"{s:>6.2f}" for s in speedups)
+        )
+    lines.append(
+        "paper shape: near-perfect scaling (worst 19% off ideal); urand "
+        "can exceed ideal via work-efficiency gains"
+    )
+    emit(f"Fig 07 ({workload}): strong scaling", lines)
+
+    for graph_name, runs in table.items():
+        base = runs[0].elapsed_seconds
+        # Monotone improvement with GPN count.
+        times = [run.elapsed_seconds for run in runs]
+        assert all(t2 <= t1 * 1.05 for t1, t2 in zip(times, times[1:])), graph_name
+        # 8 GPNs achieve at least ~40% parallel efficiency at bench scale.
+        assert base / times[-1] > 3.2, graph_name

@@ -1,0 +1,49 @@
+"""Figure 8: weak scaling -- graph size and GPN count grow together.
+
+Paper setup: RMAT21-24 with 1/2/4/8 GPNs (we run RMAT14-17, the same
+1/256 scaling as the rest of the suite), BFS.  Ideal weak scaling keeps
+execution time constant as both resources and problem double.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NovaSystem
+from repro.graph.generators import rmat
+
+from bench_common import emit, nova_config
+
+#: (rmat scale, GPN count) pairs: problem size per node is constant.
+WEAK_SWEEP = ((14, 1), (15, 2), (16, 4), (17, 8))
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_weak_scaling(once):
+    def experiment():
+        runs = []
+        for scale, gpns in WEAK_SWEEP:
+            graph = rmat(scale, 16, seed=scale)
+            source = int(np.argmax(graph.out_degrees()))
+            system = NovaSystem(nova_config(gpns), graph, placement="random")
+            runs.append((scale, gpns, graph, system.run("bfs", source=source)))
+        return runs
+
+    runs = once(experiment)
+    lines = [
+        f"{'rmat':>5} {'GPNs':>5} {'edges':>12} {'time(ms)':>9} "
+        f"{'norm. time':>10}"
+    ]
+    base = runs[0][3].elapsed_seconds
+    normalized = []
+    for scale, gpns, graph, run in runs:
+        normalized.append(run.elapsed_seconds / base)
+        lines.append(
+            f"{scale:>5} {gpns:>5} {graph.num_edges:>12,} "
+            f"{run.elapsed_seconds * 1e3:>9.3f} {normalized[-1]:>10.2f}"
+        )
+    lines.append("paper shape: ideal weak scaling keeps normalized time at 1.0")
+    emit("Fig 08: weak scaling (RMAT14-17, BFS)", lines)
+
+    # Time stays within ~60% of the single-GPN baseline as both the
+    # problem and the machine grow 8x.
+    assert max(normalized) < 1.6

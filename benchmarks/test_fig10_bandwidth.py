@@ -1,0 +1,84 @@
+"""Figure 10: vertex-memory bandwidth breakdown vs tracker size.
+
+Paper setup: superblock dimensions 32/64/128/256 (3 MiB down to 576 KiB
+of tracker storage), BFS and PR on RoadUSA and Twitter.  The bandwidth
+split between useful reads, writes, and wasteful reads (inactive blocks
+read while searching superblocks) is insensitive to tracker size, and
+sparse-frontier workloads (road BFS) waste far more than dense ones.
+"""
+
+import pytest
+
+from bench_common import emit, run_nova
+
+SB_SWEEP = (32, 64, 128, 256)
+
+
+def _shares(run):
+    useful = run.traffic["hbm_useful_read_bytes"]
+    waste = run.traffic["hbm_wasteful_read_bytes"]
+    writes = run.traffic["hbm_write_bytes"]
+    total = useful + waste + writes
+    return useful / total, writes / total, waste / total
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("workload", ("bfs", "pr"))
+def test_fig10_bandwidth_breakdown(once, workload):
+    def experiment():
+        table = {}
+        for name in ("road", "twitter"):
+            table[name] = [
+                run_nova(workload, name, superblock_dim=dim)
+                for dim in SB_SWEEP
+            ]
+        return table
+
+    table = once(experiment)
+    lines = [
+        f"{'graph':>9} {'sb_dim':>6} {'useful%':>8} {'write%':>7} {'waste%':>7}"
+    ]
+    waste_by_graph = {}
+    for name, runs in table.items():
+        shares = []
+        for dim, run in zip(SB_SWEEP, runs):
+            useful, writes, waste = _shares(run)
+            shares.append(waste)
+            lines.append(
+                f"{name:>9} {dim:>6} {useful:>8.1%} {writes:>7.1%} "
+                f"{waste:>7.1%}"
+            )
+        waste_by_graph[name] = shares
+    lines.append(
+        "paper shape: distribution insensitive to tracker size; sparse "
+        "frontiers (road BFS) waste most"
+    )
+    emit(f"Fig 10 ({workload}): vertex memory bandwidth breakdown", lines)
+
+    # Insensitivity: waste share varies by < 0.25 absolute across dims.
+    for name, shares in waste_by_graph.items():
+        assert max(shares) - min(shares) < 0.25, name
+    if workload == "bfs":
+        # Sparse road frontiers waste more than dense twitter ones.
+        assert min(waste_by_graph["road"]) > max(waste_by_graph["twitter"])
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_dense_frontiers_waste_less(once):
+    """PR (all vertices active) wastes less than BFS on the same graph."""
+
+    def experiment():
+        return run_nova("pr", "road"), run_nova("bfs", "road")
+
+    pr, bfs = once(experiment)
+    _, _, pr_waste = _shares(pr)
+    _, _, bfs_waste = _shares(bfs)
+    emit(
+        "Fig 10b: frontier density effect (road)",
+        [
+            f"PR waste share:  {pr_waste:.1%}",
+            f"BFS waste share: {bfs_waste:.1%}",
+            "paper shape: dense frontiers (PR) waste less than sparse (BFS)",
+        ],
+    )
+    assert pr_waste < bfs_waste

@@ -1,0 +1,63 @@
+"""Table I + Section III-D: spilling trade-offs and tracker capacity.
+
+Quantifies the two spilling methods for a real run's spill profile, and
+reproduces the WDC12 tracker-capacity walk-through (bit vector ~440 MiB,
+active blocks ~220 MiB, superblock counters ~13-16 MiB).
+"""
+
+import pytest
+
+from repro.analysis.resources import (
+    WDC12,
+    active_block_bits,
+    bitvector_bits,
+    tracker_requirements,
+)
+from repro.analysis.tradeoffs import spilling_comparison
+from repro.units import MiB
+
+from bench_common import emit, run_nova
+
+
+@pytest.mark.benchmark(group="tab01")
+def test_tab01_spilling_tradeoffs(once):
+    def experiment():
+        return run_nova("bfs", "twitter")
+
+    run = once(experiment)
+    fifo, overwrite = spilling_comparison(
+        spills=run.activations, distinct_vertices=run.num_vertices
+    )
+    lines = [
+        f"run profile: {run.activations:,} spill events over "
+        f"{run.num_vertices:,} vertices (BFS, twitter)",
+        fifo.row(),
+        overwrite.row(),
+    ]
+    emit("Tab 01: spilling method trade-offs", lines)
+
+    assert overwrite.extra_offchip_bytes == 0
+    assert fifo.extra_offchip_bytes > 0
+    assert fifo.writes_per_spill == 2 * overwrite.writes_per_spill
+
+
+@pytest.mark.benchmark(group="tab01")
+def test_tab01_tracker_capacity_walkthrough(once):
+    def experiment():
+        bitvector = bitvector_bits(WDC12.num_vertices) / 8
+        blocks = active_block_bits(WDC12.num_vertices) / 8
+        tracker = tracker_requirements(WDC12.vertex_capacity_bytes) / 8
+        return bitvector, blocks, tracker
+
+    bitvector, blocks, tracker = once(experiment)
+    lines = [
+        f"{'scheme':>22} {'capacity':>12} {'paper':>10}",
+        f"{'per-vertex bit vector':>22} {bitvector / MiB:>9.1f} MiB {'~440 MiB':>10}",
+        f"{'per-block bits':>22} {blocks / MiB:>9.1f} MiB {'~220 MiB':>10}",
+        f"{'superblock counters':>22} {tracker / MiB:>9.1f} MiB {'~16 MiB':>10}",
+        f"reduction vs bit vector: {bitvector / tracker:.1f}x (paper: 27x)",
+    ]
+    emit("Tab 01b: tracker capacity for WDC12 (Eq 1-2)", lines)
+
+    assert blocks == pytest.approx(bitvector / 2)
+    assert bitvector / tracker > 25

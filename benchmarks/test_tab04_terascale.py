@@ -1,0 +1,49 @@
+"""Table IV: resources to support the WDC12 terascale graph.
+
+Analytical sizing of NOVA, PolyGraph (sliced / non-sliced), and Dalorex
+to hold 3.6 B vertices and 129 B edges.  Paper rows:
+
+    NOVA                 14 HBM (56 GiB)   56 DDR (1 TiB)   21 MiB   112    1
+    PolyGraph           136 HBM (1.09 TiB)  -               4 GiB   2176   15
+    PolyGraph non-sliced 128 HBM (1 TiB)    -              56 GiB   6400    1
+    Dalorex               -                 -               1 TiB  249661   1
+"""
+
+import pytest
+
+from repro.analysis.resources import terascale_requirements
+from repro.units import GiB, MiB, TiB
+
+from bench_common import emit
+
+
+@pytest.mark.benchmark(group="tab04")
+def test_tab04_wdc12_requirements(once):
+    rows = once(terascale_requirements)
+    lines = [
+        f"{'accelerator':22s} {'HBM stacks':18s} {'DDR ch.':14s} "
+        f"{'SRAM':>8} {'cores':>8} {'slices':>4}"
+    ]
+    lines.extend(row.row() for row in rows)
+    lines.append("paper: 14/56/21MiB/112 | 136/-/4GiB/2176 | 128/-/56GiB/6400 | -/-/1TiB/249661")
+    emit("Tab 04: requirements to support WDC12", lines)
+
+    by_name = {row.accelerator: row for row in rows}
+    nova = by_name["NOVA"]
+    pg = by_name["PolyGraph"]
+    ns = by_name["PolyGraph non-sliced"]
+    dal = by_name["Dalorex"]
+
+    assert nova.hbm_stacks == 14 and nova.ddr_channels == 56
+    assert nova.cores == 112 and nova.slices == 1
+    assert pg.hbm_stacks == pytest.approx(136, abs=4)
+    assert pg.sram_bytes == pytest.approx(4.25 * GiB, rel=0.1)
+    assert ns.hbm_stacks == 128
+    assert ns.sram_bytes == pytest.approx(53.6 * GiB, rel=0.1)
+    assert dal.sram_bytes == pytest.approx(1 * TiB, rel=0.1)
+    assert dal.cores > 200_000
+
+    # The headline: NOVA's SRAM bill is orders of magnitude smaller.
+    assert nova.sram_bytes < 32 * MiB
+    assert pg.sram_bytes / nova.sram_bytes > 100
+    assert dal.sram_bytes / nova.sram_bytes > 10_000

@@ -1,0 +1,30 @@
+"""Table V: FPGA prototype resources for one GPN on an Alveo U280.
+
+Composes the paper's post-synthesis per-unit numbers (8x MPU, 8x VMU,
+8x MGU, NoC) into GPN totals, device utilization, and the number of GPNs
+that fit.  Note: the paper claims 14 GPNs fit; composing its own per-unit
+URAM numbers (96 per GPN over 960 available) bounds that at 10 --
+EXPERIMENTS.md records the discrepancy.
+"""
+
+import pytest
+
+from repro.analysis.fpga import U280, gpn_fpga_report
+
+from bench_common import emit
+
+
+@pytest.mark.benchmark(group="tab05")
+def test_tab05_fpga_report(once):
+    report = once(gpn_fpga_report)
+    emit("Tab 05: FPGA resources (1 GPN @ Alveo U280)", report.render().split("\n"))
+
+    assert report.total.power_mw == 3274  # paper total
+    assert report.total.lut == 12835
+    assert max(report.utilization.values()) < 0.12
+    assert report.gpns_fit == 10
+
+    # The VMU -- the paper's novel unit -- dominates the memory budget.
+    vmu = next(u for u in report.units if "Vertex Management" in u.name)
+    assert vmu.bram == max(u.bram for u in report.units)
+    assert vmu.uram == max(u.uram for u in report.units)

@@ -1,0 +1,62 @@
+"""Shortest paths on a road network: the paper's hard case.
+
+High-diameter graphs (RoadUSA in the paper, a synthetic grid here) have
+sparse frontiers: few active vertices per wavefront step.  This stresses
+exactly the structures NOVA's evaluation studies -- the tracker module
+overfetches while hunting for scattered active blocks (Fig 10), and the
+choice of vertex placement trades network traffic against load balance
+(Fig 9b).
+
+Run:  python examples/road_network_sssp.py
+"""
+
+import numpy as np
+
+from repro import NovaSystem, scaled_config
+from repro.graph.generators import road_grid, with_uniform_weights
+
+
+def main() -> None:
+    # A 200x200 road grid (~40k intersections) with travel-time weights.
+    graph = with_uniform_weights(
+        road_grid(200, 200, seed=3), low=1.0, high=10.0, seed=4
+    )
+    print(f"road network: {graph}")
+
+    config = scaled_config(num_gpns=1, scale=1 / 256)
+    source = 0  # the grid's corner: worst-case eccentricity
+
+    print(f"\n{'placement':>14} {'time(us)':>9} {'GTEPS':>6} "
+          f"{'waste%':>7} {'net KB':>8}")
+    for placement in ("random", "load_balanced", "locality"):
+        system = NovaSystem(config, graph, placement=placement)
+        run = system.run("sssp", source=source, compute_reference=True)
+        useful = run.traffic["hbm_useful_read_bytes"]
+        waste = run.traffic["hbm_wasteful_read_bytes"]
+        waste_share = waste / max(useful + waste, 1)
+        print(
+            f"{placement:>14} {run.elapsed_seconds * 1e6:>9.1f} "
+            f"{run.gteps:>6.2f} {waste_share:>7.1%} "
+            f"{run.traffic['network_bytes'] / 1e3:>8.1f}"
+        )
+
+    # The answers are identical regardless of placement -- spatial
+    # mapping is a pure performance knob.
+    base = NovaSystem(config, graph, placement="random").run(
+        "sssp", source=source
+    )
+    far = int(np.nanargmax(np.where(np.isfinite(base.result),
+                                    base.result, np.nan)))
+    print(
+        f"\nfarthest reachable intersection: {far} at travel time "
+        f"{base.result[far]:.1f}"
+    )
+    print(
+        "takeaway: sparse road frontiers make the prefetcher overfetch "
+        "(the paper's Fig 10 waste), and locality placement trades "
+        "network bytes for wavefront serialization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""NOVA: A Novel Vertex Management Architecture for Scalable Graph Processing.
+
+A full-system reproduction of the HPCA 2025 paper: the NOVA accelerator
+(decoupled MPU/VMU/MGU pipeline with superblock active-vertex tracking),
+the PolyGraph and Ligra baselines, five vertex-centric workloads, graph
+generators and partitioners, memory/network timing models, and the
+analytical models behind the paper's static tables.
+
+Quick start::
+
+    from repro import NovaSystem, scaled_config
+    from repro.graph.generators import rmat
+
+    graph = rmat(16, edge_factor=16, seed=1)
+    system = NovaSystem(scaled_config(num_gpns=2), graph)
+    run = system.run("bfs", source=0, compute_reference=True)
+    print(run.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphFormatError,
+    ConfigError,
+    PartitionError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.graph.csr import CSRGraph
+from repro.core.system import NovaSystem
+from repro.core.metrics import RunResult
+from repro.sim.config import NovaConfig, paper_config, scaled_config
+from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
+from repro.baselines.ligra import LigraConfig, LigraModel
+from repro.workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "ConfigError",
+    "PartitionError",
+    "SimulationError",
+    "WorkloadError",
+    "CSRGraph",
+    "NovaSystem",
+    "RunResult",
+    "NovaConfig",
+    "paper_config",
+    "scaled_config",
+    "PolyGraphConfig",
+    "PolyGraphSystem",
+    "LigraConfig",
+    "LigraModel",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

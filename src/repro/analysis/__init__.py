@@ -1,0 +1,53 @@
+"""Analytical models backing the paper's static tables.
+
+- :mod:`repro.analysis.resources` -- tracker capacity (Equations 1-2 and
+  the WDC12 example of Section III-D) and the terascale resource
+  requirements of Table IV.
+- :mod:`repro.analysis.fpga` -- the per-unit FPGA resource/power
+  estimates of Table V.
+- :mod:`repro.analysis.tradeoffs` -- the spilling-method trade-off
+  comparison of Table I.
+"""
+
+from repro.analysis.resources import (
+    WDC12,
+    GraphScale,
+    tracker_requirements,
+    bitvector_bits,
+    active_block_bits,
+    terascale_requirements,
+)
+from repro.analysis.fpga import FPGA_UNITS, U280, gpn_fpga_report
+from repro.analysis.tradeoffs import SpillingMethod, spilling_comparison
+from repro.analysis.preprocessing import (
+    AmortizationReport,
+    amortization,
+    preprocessing_seconds,
+)
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    EnergyReport,
+    estimate_energy,
+    gpn_pipeline_watts,
+)
+
+__all__ = [
+    "WDC12",
+    "GraphScale",
+    "tracker_requirements",
+    "bitvector_bits",
+    "active_block_bits",
+    "terascale_requirements",
+    "FPGA_UNITS",
+    "U280",
+    "gpn_fpga_report",
+    "SpillingMethod",
+    "spilling_comparison",
+    "AmortizationReport",
+    "amortization",
+    "preprocessing_seconds",
+    "EnergyBreakdown",
+    "EnergyReport",
+    "estimate_energy",
+    "gpn_pipeline_watts",
+]

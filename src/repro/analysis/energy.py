@@ -1,0 +1,151 @@
+"""Energy estimation for NOVA runs.
+
+Combines the FPGA prototype's measured per-unit power (Table V) with
+standard per-bit DRAM access energies to turn a simulated run into an
+energy estimate and a GTEPS/W figure of merit -- the metric accelerator
+papers report alongside raw throughput.
+
+Components:
+
+- **on-chip pipeline**: the Table V unit powers (MPU/VMU/MGU/NoC,
+  3.274 W per GPN at 1 GHz) scaled by the run's duration and by the
+  clock ratio of the simulated configuration;
+- **DRAM access energy**: per-bit energies for HBM2 and DDR4 applied to
+  the run's byte traffic (wasteful prefetch reads included -- overfetch
+  costs energy, not just bandwidth);
+- **network energy**: per-bit link energy applied to NoC traffic.
+
+All constants are documented estimates, not measurements; the value of
+the model is *relative* comparisons (e.g. the FIFO-spilling ablation's
+extra writes, or road's overfetch energy) on a consistent basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.fpga import FPGA_UNITS
+from repro.core.metrics import RunResult
+from repro.errors import ConfigError
+
+#: Per-bit DRAM access energies (documented estimates, pJ/bit).
+HBM2_PJ_PER_BIT = 4.0
+DDR4_PJ_PER_BIT = 15.0
+#: Short-reach electrical link energy, pJ/bit.
+LINK_PJ_PER_BIT = 2.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by component for one run."""
+
+    pipeline_j: float
+    hbm_j: float
+    ddr_j: float
+    network_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.pipeline_j + self.hbm_j + self.ddr_j + self.network_j
+
+    def shares(self) -> Dict[str, float]:
+        total = self.total_j
+        if total <= 0:
+            return {}
+        return {
+            "pipeline": self.pipeline_j / total,
+            "hbm": self.hbm_j / total,
+            "ddr": self.ddr_j / total,
+            "network": self.network_j / total,
+        }
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy and efficiency figures for one run."""
+
+    breakdown: EnergyBreakdown
+    elapsed_seconds: float
+    edges_traversed: int
+
+    @property
+    def total_j(self) -> float:
+        return self.breakdown.total_j
+
+    @property
+    def average_watts(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_j / self.elapsed_seconds
+
+    @property
+    def nj_per_edge(self) -> float:
+        if self.edges_traversed <= 0:
+            return 0.0
+        return self.total_j / self.edges_traversed * 1e9
+
+    @property
+    def gteps_per_watt(self) -> float:
+        watts = self.average_watts
+        if watts <= 0 or self.elapsed_seconds <= 0:
+            return 0.0
+        gteps = self.edges_traversed / self.elapsed_seconds / 1e9
+        return gteps / watts
+
+    def summary(self) -> str:
+        shares = self.breakdown.shares()
+        share_text = ", ".join(f"{k}={v:.0%}" for k, v in shares.items())
+        return (
+            f"energy {self.total_j * 1e6:.2f} uJ "
+            f"({self.average_watts:.2f} W avg, "
+            f"{self.nj_per_edge:.3f} nJ/edge, "
+            f"{self.gteps_per_watt:.2f} GTEPS/W) [{share_text}]"
+        )
+
+
+def gpn_pipeline_watts(frequency_hz: float = 2e9) -> float:
+    """Table V's per-GPN pipeline power, scaled from 1 GHz to the target
+    clock (dynamic power scales ~linearly with frequency)."""
+    if frequency_hz <= 0:
+        raise ConfigError("frequency must be positive")
+    table_v_watts = sum(u.power_mw for u in FPGA_UNITS.values()) / 1e3
+    return table_v_watts * (frequency_hz / 1e9)
+
+
+def estimate_energy(
+    run: RunResult,
+    num_gpns: int,
+    frequency_hz: float = 2e9,
+) -> EnergyReport:
+    """Estimate a NOVA run's energy from its traffic and duration.
+
+    Only NOVA runs carry the per-category HBM/DDR/network traffic the
+    model needs; other systems' RunResults are rejected.
+    """
+    if run.system != "nova":
+        raise ConfigError(
+            f"energy model covers NOVA runs; got {run.system!r}"
+        )
+    if num_gpns <= 0:
+        raise ConfigError("num_gpns must be positive")
+    hbm_bytes = (
+        run.traffic.get("hbm_useful_read_bytes", 0)
+        + run.traffic.get("hbm_wasteful_read_bytes", 0)
+        + run.traffic.get("hbm_write_bytes", 0)
+    )
+    ddr_bytes = run.traffic.get("ddr_bytes", 0)
+    network_bytes = run.traffic.get("network_bytes", 0)
+    breakdown = EnergyBreakdown(
+        pipeline_j=gpn_pipeline_watts(frequency_hz)
+        * num_gpns
+        * run.elapsed_seconds,
+        hbm_j=hbm_bytes * 8 * HBM2_PJ_PER_BIT * 1e-12,
+        ddr_j=ddr_bytes * 8 * DDR4_PJ_PER_BIT * 1e-12,
+        network_j=network_bytes * 8 * LINK_PJ_PER_BIT * 1e-12,
+    )
+    return EnergyReport(
+        breakdown=breakdown,
+        elapsed_seconds=run.elapsed_seconds,
+        edges_traversed=run.edges_traversed,
+    )

@@ -1,0 +1,105 @@
+"""FPGA prototype resource estimates (Table V).
+
+The paper synthesizes one GPN (8 PEs) on a Xilinx Alveo U280 at 1 GHz.
+We cannot synthesize RTL here, so Table V is reproduced from a per-unit
+resource database whose entries are the paper's post-synthesis numbers
+for the three pipeline units and the NoC; :func:`gpn_fpga_report`
+composes them into the per-GPN totals and device-utilization
+percentages, and estimates how many GPNs fit on the device (the paper
+fits 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class UnitResources:
+    """Post-synthesis resources of one unit instance group (8 PEs)."""
+
+    name: str
+    lut: int
+    ff: int
+    bram: int
+    uram: int
+    power_mw: int
+
+
+#: Table V rows: resources of the 8 instances of each unit in a GPN.
+FPGA_UNITS: Dict[str, UnitResources] = {
+    "mpu": UnitResources("8x Message Processing Unit", 6032, 7472, 16, 24, 1120),
+    "vmu": UnitResources("8x Vertex Management Unit", 5160, 5560, 64, 64, 1396),
+    "mgu": UnitResources("8x Message Generation Unit", 1640, 4840, 16, 8, 752),
+    "noc": UnitResources("NoC", 3, 145, 0, 0, 6),
+}
+
+
+@dataclass(frozen=True)
+class DeviceResources:
+    """An FPGA device's available resources."""
+
+    name: str
+    lut: int
+    ff: int
+    bram: int
+    uram: int
+
+
+#: Xilinx Alveo U280 (UltraScale+ XCU280).
+U280 = DeviceResources("Alveo U280", 1_303_680, 2_607_360, 2016, 960)
+
+
+@dataclass(frozen=True)
+class GPNFpgaReport:
+    """Composed Table V: one GPN on one device."""
+
+    units: List[UnitResources]
+    total: UnitResources
+    utilization: Dict[str, float]
+    gpns_fit: int
+
+    def render(self) -> str:
+        lines = [
+            f"{'Unit':28s} {'LUT':>7} {'FF':>7} {'BRAM':>5} {'URAM':>5} {'mW':>6}"
+        ]
+        for unit in self.units:
+            lines.append(
+                f"{unit.name:28s} {unit.lut:>7} {unit.ff:>7} "
+                f"{unit.bram:>5} {unit.uram:>5} {unit.power_mw:>6}"
+            )
+        total = self.total
+        lines.append(
+            f"{'Total (1 GPN)':28s} {total.lut:>7} {total.ff:>7} "
+            f"{total.bram:>5} {total.uram:>5} {total.power_mw:>6}"
+        )
+        lines.append(
+            "Utilization: "
+            + ", ".join(f"{k}={v:.2%}" for k, v in self.utilization.items())
+        )
+        lines.append(f"GPNs fitting on device: {self.gpns_fit}")
+        return "\n".join(lines)
+
+
+def gpn_fpga_report(device: DeviceResources = U280) -> GPNFpgaReport:
+    """Compose Table V for one GPN and report device utilization."""
+    units = list(FPGA_UNITS.values())
+    total = UnitResources(
+        name="total",
+        lut=sum(u.lut for u in units),
+        ff=sum(u.ff for u in units),
+        bram=sum(u.bram for u in units),
+        uram=sum(u.uram for u in units),
+        power_mw=sum(u.power_mw for u in units),
+    )
+    utilization = {
+        "lut": total.lut / device.lut,
+        "ff": total.ff / device.ff,
+        "bram": total.bram / device.bram,
+        "uram": total.uram / device.uram,
+    }
+    gpns_fit = int(1 / max(utilization.values()))
+    return GPNFpgaReport(
+        units=units, total=total, utilization=utilization, gpns_fit=gpns_fit
+    )

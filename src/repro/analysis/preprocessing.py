@@ -1,0 +1,109 @@
+"""Preprocessing-cost amortization (Section II-C1).
+
+The paper argues that heavyweight graph preprocessing (community
+reordering like RABBIT) is hard to amortize: Balaji et al. measured
+RABBIT++ needing 1047 SpMV-kernel runs to pay for itself, while
+lightweight id-chunking (Gemini) and random placement are essentially
+free.  This module makes the argument quantitative for *this* system:
+
+- preprocessing cost = a per-edge operation count for each placement
+  strategy, converted to time on the software platform that would run it
+  (the Ligra-class machine of Section V);
+- per-run benefit = the measured difference in accelerator run time
+  between the preprocessed placement and the free one;
+- amortization = runs needed before the preprocessing pays back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+
+#: Rough operations per edge for each placement strategy's preprocessing.
+#: Random/interleave are O(V) relabelings (counted as ~0 per edge);
+#: degree sorting is O(V log V) (~1 op/edge on typical densities);
+#: community/locality ordering needs several passes over every edge
+#: (label propagation / BFS / aggregation) -- RABBIT-class costs.
+STRATEGY_OPS_PER_EDGE: Dict[str, float] = {
+    "interleave": 0.0,
+    "random": 0.05,
+    "load_balanced": 1.0,
+    "locality": 30.0,
+}
+
+
+@dataclass(frozen=True)
+class AmortizationReport:
+    """Preprocessing cost vs per-run benefit for one strategy pair."""
+
+    strategy: str
+    baseline: str
+    preprocessing_seconds: float
+    baseline_run_seconds: float
+    strategy_run_seconds: float
+
+    @property
+    def per_run_benefit_seconds(self) -> float:
+        return self.baseline_run_seconds - self.strategy_run_seconds
+
+    @property
+    def amortization_runs(self) -> float:
+        """Runs needed before preprocessing pays back (inf if never)."""
+        benefit = self.per_run_benefit_seconds
+        if benefit <= 0:
+            return float("inf")
+        return self.preprocessing_seconds / benefit
+
+    def row(self) -> str:
+        runs = self.amortization_runs
+        runs_text = "never" if runs == float("inf") else f"{runs:,.0f} runs"
+        return (
+            f"{self.strategy:>14} vs {self.baseline:<11} "
+            f"prep={self.preprocessing_seconds * 1e3:9.3f} ms  "
+            f"benefit/run={self.per_run_benefit_seconds * 1e6:9.2f} us  "
+            f"amortized after {runs_text}"
+        )
+
+
+def preprocessing_seconds(
+    graph: CSRGraph,
+    strategy: str,
+    ops_per_second: float = 2e9,
+) -> float:
+    """Modelled preprocessing time for one placement strategy.
+
+    ``ops_per_second`` is the effective per-edge processing rate of the
+    host that runs the preprocessing (graph kernels on the Section V
+    software platform sustain a few billion simple edge-ops/second).
+    """
+    if strategy not in STRATEGY_OPS_PER_EDGE:
+        raise ConfigError(
+            f"unknown strategy {strategy!r}; known: "
+            f"{sorted(STRATEGY_OPS_PER_EDGE)}"
+        )
+    if ops_per_second <= 0:
+        raise ConfigError("ops_per_second must be positive")
+    return STRATEGY_OPS_PER_EDGE[strategy] * graph.num_edges / ops_per_second
+
+
+def amortization(
+    graph: CSRGraph,
+    strategy: str,
+    strategy_run_seconds: float,
+    baseline_run_seconds: float,
+    baseline: str = "random",
+    ops_per_second: float = 2e9,
+) -> AmortizationReport:
+    """Build the amortization report from measured run times."""
+    return AmortizationReport(
+        strategy=strategy,
+        baseline=baseline,
+        preprocessing_seconds=preprocessing_seconds(
+            graph, strategy, ops_per_second
+        ),
+        baseline_run_seconds=baseline_run_seconds,
+        strategy_run_seconds=strategy_run_seconds,
+    )

@@ -1,0 +1,202 @@
+"""Tracker capacity (Eq 1-2) and terascale resource sizing (Table IV).
+
+Section III-D works the WDC12 example: 3.6 B vertices, 129 B edges,
+16-byte vertices in HBM2 with 32-byte atoms.  A per-vertex bit vector
+needs ~440 MiB; tracking active *blocks* halves that; NOVA's superblock
+counters (128 blocks per superblock, log2(128)+1 = 8 bits each) need
+only ~16 MiB -- 27x less than the bit vector.
+
+Table IV scales NOVA, PolyGraph (sliced and non-sliced), and Dalorex to
+hold WDC12 (53 GiB of vertices + 959.15 GiB of edges).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.dalorex import dalorex_requirements
+from repro.errors import ConfigError
+from repro.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class GraphScale:
+    """Vertex/edge counts with the paper's record sizes."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    vertex_bytes: int = 16
+    edge_bytes: int = 8
+
+    @property
+    def vertex_capacity_bytes(self) -> int:
+        return self.num_vertices * self.vertex_bytes
+
+    @property
+    def edge_capacity_bytes(self) -> int:
+        return self.num_edges * self.edge_bytes
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.vertex_capacity_bytes + self.edge_capacity_bytes
+
+
+#: The WDC12 hyperlink graph (Section III-D / Table IV).
+WDC12 = GraphScale("WDC12", 3_600_000_000, 129_000_000_000)
+
+
+def bitvector_bits(num_vertices: int) -> int:
+    """Naive tracking: one bit per vertex."""
+    return num_vertices
+
+
+def active_block_bits(num_vertices: int, vertex_bytes: int = 16, block_bytes: int = 32) -> int:
+    """One bit per memory block (a block holds block/vertex vertices)."""
+    vertices_per_block = block_bytes // vertex_bytes
+    return -(-num_vertices // vertices_per_block)
+
+
+def tracker_requirements(
+    vertex_capacity_bytes: int,
+    superblock_dim: int = 128,
+    block_bytes: int = 32,
+) -> int:
+    """Equations 1-2: tracker bits for a given vertex-memory capacity."""
+    if superblock_dim <= 0 or block_bytes <= 0:
+        raise ConfigError("superblock_dim and block_bytes must be positive")
+    num_superblocks = math.ceil(
+        vertex_capacity_bytes / (superblock_dim * block_bytes)
+    )
+    counter_bits = int(math.log2(superblock_dim)) + 1
+    return counter_bits * num_superblocks
+
+
+@dataclass(frozen=True)
+class AcceleratorRequirements:
+    """One row of Table IV."""
+
+    accelerator: str
+    hbm_stacks: int
+    hbm_bytes: int
+    ddr_channels: int
+    ddr_bytes: int
+    sram_bytes: int
+    cores: int
+    slices: int
+
+    def row(self) -> str:
+        hbm = f"{self.hbm_stacks} ({self.hbm_bytes / GiB:.0f} GiB)" if self.hbm_stacks else "-"
+        ddr = f"{self.ddr_channels} ({self.ddr_bytes / GiB:.0f} GiB)" if self.ddr_channels else "-"
+        if self.sram_bytes >= GiB:
+            sram = f"{self.sram_bytes / GiB:.0f} GiB"
+        else:
+            sram = f"{self.sram_bytes / MiB:.0f} MiB"
+        return (
+            f"{self.accelerator:22s} {hbm:18s} {ddr:14s} {sram:>8s} "
+            f"{self.cores:>8,} {self.slices:>4}"
+        )
+
+
+def terascale_requirements(
+    graph: GraphScale = WDC12,
+    hbm_stack_bytes: int = 4 * GiB,
+    pg_hbm_stack_bytes: int = 8 * GiB,
+    ddr_channel_bytes: int = 32 * GiB,
+    nova_pes_per_gpn: int = 8,
+    nova_ddr_per_gpn: int = 4,
+    nova_sram_per_gpn: float = 1.5 * MiB,
+    pg_cores_per_node: int = 16,
+    pg_onchip_per_node: int = 32 * MiB,
+    pg_replication: float = 1.07,
+) -> List[AcceleratorRequirements]:
+    """Reproduce Table IV: resources for each accelerator to hold ``graph``.
+
+    - **NOVA**: GPN count set by HBM stacks for the vertex set (4 GiB
+      each); DDR channels follow at 4 per GPN; SRAM at 1.5 MiB per GPN.
+    - **PolyGraph (sliced)**: everything in HBM (8 GiB stacks); 32 MiB
+      on-chip per node; temporal slices sized by total SRAM with a
+      replication allowance.
+    - **PolyGraph non-sliced**: the whole vertex set must fit in SRAM,
+      scaling node count with it.
+    - **Dalorex**: the whole graph on-chip, ~4 MiB per core.
+    """
+    rows: List[AcceleratorRequirements] = []
+
+    # NOVA.
+    gpns = math.ceil(graph.vertex_capacity_bytes / hbm_stack_bytes)
+    ddr_channels = gpns * nova_ddr_per_gpn
+    rows.append(
+        AcceleratorRequirements(
+            accelerator="NOVA",
+            hbm_stacks=gpns,
+            hbm_bytes=gpns * hbm_stack_bytes,
+            ddr_channels=ddr_channels,
+            ddr_bytes=ddr_channels * ddr_channel_bytes,
+            sram_bytes=int(gpns * nova_sram_per_gpn),
+            cores=gpns * nova_pes_per_gpn,
+            slices=1,
+        )
+    )
+
+    # PolyGraph, sliced: vertices + edges in HBM (with replica headroom),
+    # 32 MiB SRAM per node; temporal slices hold full 16 B vertex records
+    # on-chip while resident.
+    pg_bytes = int(graph.footprint_bytes * pg_replication)
+    pg_stacks = math.ceil(pg_bytes / pg_hbm_stack_bytes)
+    pg_sram = pg_stacks * pg_onchip_per_node
+    pg_slices = math.ceil(
+        graph.num_vertices * graph.vertex_bytes * pg_replication / pg_sram
+    )
+    rows.append(
+        AcceleratorRequirements(
+            accelerator="PolyGraph",
+            hbm_stacks=pg_stacks,
+            hbm_bytes=pg_stacks * pg_hbm_stack_bytes,
+            ddr_channels=0,
+            ddr_bytes=0,
+            sram_bytes=pg_sram,
+            cores=pg_stacks * pg_cores_per_node,
+            slices=pg_slices,
+        )
+    )
+
+    # PolyGraph, non-sliced: the whole vertex set lives in SRAM.  Nodes
+    # are bounded by a ~144 MiB reticle-scale on-chip budget each, so the
+    # node count scales with the SRAM bill.
+    ns_sram = graph.vertex_capacity_bytes
+    ns_nodes = math.ceil(ns_sram / (144 * MiB))
+    ns_stacks = math.ceil(graph.edge_capacity_bytes / pg_hbm_stack_bytes)
+    ns_stacks = 1 << math.ceil(math.log2(ns_stacks))  # provisioned in powers of two
+    rows.append(
+        AcceleratorRequirements(
+            accelerator="PolyGraph non-sliced",
+            hbm_stacks=ns_stacks,
+            hbm_bytes=ns_stacks * pg_hbm_stack_bytes,
+            ddr_channels=0,
+            ddr_bytes=0,
+            sram_bytes=ns_sram,
+            cores=ns_nodes * pg_cores_per_node,
+            slices=1,
+        )
+    )
+
+    # Dalorex: everything on-chip.
+    dal = dalorex_requirements(
+        graph.num_vertices, graph.num_edges, graph.vertex_bytes, graph.edge_bytes
+    )
+    rows.append(
+        AcceleratorRequirements(
+            accelerator="Dalorex",
+            hbm_stacks=0,
+            hbm_bytes=0,
+            ddr_channels=0,
+            ddr_bytes=0,
+            sram_bytes=dal.sram_bytes,
+            cores=dal.cores,
+            slices=1,
+        )
+    )
+    return rows

@@ -1,0 +1,73 @@
+"""Spilling-method trade-offs (Table I).
+
+Two ways to spill active vertices to off-chip memory:
+
+- **Off-chip FIFO buffer**: append a copy of each active vertex.  Two
+  writes per spill (vertex set + buffer), cheap retrieval (pop), but
+  coalescing requires searching the buffer and metadata must store each
+  vertex's address; worst-case extra memory is O(V*E) copies.
+- **Overwrite in the vertex set** (NOVA): the spill *is* the ordinary
+  write-back of the vertex -- one write, zero extra capacity, free
+  coalescing (later updates overwrite in place) -- at the cost of
+  searching the vertex set on retrieval (mitigated by the tracker
+  module's superblock counters).
+
+:func:`spilling_comparison` quantifies both methods for a given run
+profile so benches can print Table I with concrete numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpillingMethod:
+    """Quantified costs of one spilling method."""
+
+    name: str
+    writes_per_spill: int
+    retrieval: str
+    coalescing: str
+    metadata_bytes_per_entry: int
+    extra_offchip_bytes: int
+
+    def row(self) -> str:
+        return (
+            f"{self.name:26s} writes/spill={self.writes_per_spill}  "
+            f"metadata/entry={self.metadata_bytes_per_entry}B  "
+            f"extra-offchip={self.extra_offchip_bytes:,}B  "
+            f"retrieval={self.retrieval}  coalescing={self.coalescing}"
+        )
+
+
+def spilling_comparison(
+    spills: int,
+    distinct_vertices: int,
+    vertex_bytes: int = 16,
+    message_bytes: int = 8,
+    address_bytes: int = 8,
+):
+    """Table I for a concrete run: ``spills`` events over ``distinct_vertices``.
+
+    Returns (fifo_method, overwrite_method).  The FIFO's extra off-chip
+    usage is one buffered copy per spill *event* (no coalescing), while
+    overwriting needs none.
+    """
+    fifo = SpillingMethod(
+        name="Off-chip FIFO buffer",
+        writes_per_spill=2,
+        retrieval="read from FIFO",
+        coalescing="search FIFO for same vertex",
+        metadata_bytes_per_entry=address_bytes,
+        extra_offchip_bytes=spills * (message_bytes + address_bytes),
+    )
+    overwrite = SpillingMethod(
+        name="Overwrite in vertex set",
+        writes_per_spill=1,
+        retrieval="search vertex set (tracker)",
+        coalescing="free (overwrite in place)",
+        metadata_bytes_per_entry=0,
+        extra_offchip_bytes=0,
+    )
+    return fifo, overwrite

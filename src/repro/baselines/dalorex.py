@@ -1,0 +1,41 @@
+"""Dalorex [34] resource model (Table IV).
+
+Dalorex eliminates off-chip memory entirely: the whole graph (vertices
+*and* edges) lives in distributed on-chip SRAM, tiled across a sea of
+tiny cores (256-4096 per node), roughly 4 MiB of SRAM per core.  It
+never needs temporal slicing, but the SRAM bill for terascale graphs is
+enormous -- the point Table IV makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class DalorexRequirements:
+    """On-chip resources Dalorex needs for one graph."""
+
+    sram_bytes: int
+    cores: int
+    slices: int = 1  # data-local execution never time-multiplexes
+
+
+def dalorex_requirements(
+    num_vertices: int,
+    num_edges: int,
+    vertex_bytes: int = 16,
+    edge_bytes: int = 8,
+    sram_per_core: int = 4 * MiB,
+) -> DalorexRequirements:
+    """Resources to hold a graph entirely on-chip, Dalorex-style."""
+    if num_vertices < 0 or num_edges < 0:
+        raise ConfigError("graph sizes must be non-negative")
+    if sram_per_core <= 0:
+        raise ConfigError("sram_per_core must be positive")
+    footprint = num_vertices * vertex_bytes + num_edges * edge_bytes
+    cores = max(1, -(-footprint // sram_per_core))
+    return DalorexRequirements(sram_bytes=footprint, cores=cores)

@@ -1,0 +1,83 @@
+"""Temporal partitioning: Gemini-style id-chunk slices (Section II-C).
+
+PolyGraph (and the overhead study of Fig 2) partitions the vertex set
+into contiguous id ranges sized so one slice's property state fits
+on-chip -- the low-cost method of Gemini [59] that needs no
+preprocessing.  This module computes slice membership, per-slice vertex
+counts, and the replica sets that drive switching costs:
+
+- a vertex ``w`` of slice ``t`` is *replicated* in slice ``s != t`` iff
+  some vertex of ``s`` has an edge to ``w`` (slice ``s`` keeps a local
+  accumulator copy of ``w`` so remote updates coalesce on-chip);
+- ``replicas_of_slice[t]`` counts distinct vertices of ``t`` replicated
+  anywhere -- these must be read back when ``t`` becomes resident
+  (switching cost component 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.suites import SLICE_PROPERTY_BYTES, temporal_slices
+
+
+class TemporalSlicing:
+    """Contiguous-id temporal slices over one graph."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        onchip_bytes: int,
+        property_bytes: int = SLICE_PROPERTY_BYTES,
+        num_slices: int | None = None,
+    ) -> None:
+        if num_slices is None:
+            num_slices = temporal_slices(
+                graph.num_vertices, onchip_bytes, property_bytes
+            )
+        if num_slices <= 0:
+            raise PartitionError("need at least one slice")
+        self.graph = graph
+        self.num_slices = num_slices
+        self.slice_size = -(-graph.num_vertices // num_slices)
+        self._slice_of = np.minimum(
+            np.arange(graph.num_vertices, dtype=np.int64) // self.slice_size,
+            num_slices - 1,
+        )
+        self.vertices_per_slice = np.bincount(
+            self._slice_of, minlength=num_slices
+        )
+        self._replicas = None
+
+    def slice_of(self, vertices: np.ndarray) -> np.ndarray:
+        return self._slice_of[vertices]
+
+    @property
+    def replicas_of_slice(self) -> np.ndarray:
+        """Distinct replicated vertices per destination slice (lazy)."""
+        if self._replicas is None:
+            src_slice = self._slice_of[self.graph.edge_sources()]
+            dst = self.graph.col_idx
+            dst_slice = self._slice_of[dst]
+            cross = src_slice != dst_slice
+            # Distinct (source slice, destination vertex) pairs, counted by
+            # the destination's slice.
+            pairs = np.unique(
+                src_slice[cross] * np.int64(self.graph.num_vertices)
+                + dst[cross]
+            )
+            dest_vertices = pairs % self.graph.num_vertices
+            self._replicas = np.bincount(
+                self._slice_of[dest_vertices], minlength=self.num_slices
+            )
+        return self._replicas
+
+    def cross_edge_fraction(self) -> float:
+        """Fraction of edges crossing slice boundaries."""
+        if self.graph.num_edges == 0:
+            return 0.0
+        src_slice = self._slice_of[self.graph.edge_sources()]
+        dst_slice = self._slice_of[self.graph.col_idx]
+        return float(np.count_nonzero(src_slice != dst_slice)) / self.graph.num_edges

@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``       simulate a workload on NOVA / PolyGraph / Ligra
+- ``generate``  build a synthetic graph and save it
+- ``info``      print the system configuration (Table II) and tracker sizing
+- ``resources`` print Table IV terascale requirements
+
+Graph specifiers (for ``run --graph`` and ``generate --kind``)::
+
+    rmat:SCALE[:EDGE_FACTOR]      e.g. rmat:16:16
+    urand:VERTICES:EDGES          e.g. urand:100000:3000000
+    powerlaw:VERTICES:AVG_DEGREE  e.g. powerlaw:100000:35
+    road:WIDTH:HEIGHT             e.g. road:300:300
+    suite:NAME                    Table III stand-in (road/twitter/...)
+    PATH                          .npz / .txt edge list / .gr DIMACS
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro import (
+    LigraConfig,
+    LigraModel,
+    NovaSystem,
+    PolyGraphConfig,
+    PolyGraphSystem,
+    scaled_config,
+)
+from repro.analysis.resources import terascale_requirements
+from repro.errors import ReproError
+from repro.graph import io as graph_io
+from repro.graph import suites
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    power_law,
+    rmat,
+    road_grid,
+    uniform_random,
+    with_uniform_weights,
+)
+from repro.units import KiB, MiB, bytes_to_human, rate_to_human
+
+_SIZE_UNITS = {"kib": KiB, "mib": MiB, "gib": 1 << 30, "b": 1}
+
+
+def parse_size(text: str) -> int:
+    """Parse '64KiB' / '1.5MiB' / '4096' into bytes."""
+    lowered = text.strip().lower()
+    for suffix, unit in _SIZE_UNITS.items():
+        if lowered.endswith(suffix):
+            return int(float(lowered[: -len(suffix)]) * unit)
+    return int(lowered)
+
+
+def build_graph(spec: str, seed: int = 42) -> CSRGraph:
+    """Resolve a graph specifier (see module docstring)."""
+    if ":" not in spec:
+        if spec.endswith(".npz"):
+            return graph_io.load_npz(spec)
+        if spec.endswith(".gr"):
+            return graph_io.load_dimacs(spec)
+        if spec.endswith(".txt") or spec.endswith(".el"):
+            return graph_io.load_edge_list(spec)
+        raise ReproError(f"unrecognized graph specifier: {spec!r}")
+    kind, _, rest = spec.partition(":")
+    args = rest.split(":") if rest else []
+    if kind == "rmat":
+        scale = int(args[0])
+        edge_factor = int(args[1]) if len(args) > 1 else 16
+        return rmat(scale, edge_factor, seed=seed)
+    if kind == "urand":
+        return uniform_random(int(args[0]), int(args[1]), seed=seed)
+    if kind == "powerlaw":
+        return power_law(int(args[0]), float(args[1]), seed=seed)
+    if kind == "road":
+        return road_grid(int(args[0]), int(args[1]), seed=seed)
+    if kind == "suite":
+        return suites.build_graph(args[0])
+    raise ReproError(f"unknown graph kind: {kind!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = build_graph(args.graph, seed=args.seed)
+    workload = args.workload
+    if workload == "sssp" and not graph.has_weights:
+        graph = with_uniform_weights(graph, seed=args.seed)
+    if workload == "cc":
+        graph = graph.symmetrized()
+
+    source: Optional[int] = None
+    if workload not in ("cc", "pr"):
+        source = (
+            int(np.argmax(graph.out_degrees()))
+            if args.source is None
+            else args.source
+        )
+
+    kwargs = {}
+    if workload == "pr":
+        kwargs["max_supersteps"] = args.pr_supersteps
+
+    if args.system == "nova":
+        config = scaled_config(num_gpns=args.gpns, scale=args.scale)
+        if args.vmu_mode != "tracker":
+            config = config.with_updates(vmu_mode=args.vmu_mode)
+        system = NovaSystem(config, graph, placement=args.placement)
+        print(system.describe())
+    elif args.system == "polygraph":
+        onchip = parse_size(args.onchip) if args.onchip else int(32 * MiB * args.scale)
+        system = PolyGraphSystem(PolyGraphConfig(onchip_bytes=onchip), graph)
+        print(
+            f"PolyGraph: on-chip {bytes_to_human(onchip)}, memory "
+            f"{rate_to_human(system.config.memory.peak_bandwidth)}"
+        )
+    else:
+        system = LigraModel(LigraConfig(), graph)
+        print("Ligra software model (8 cores, 32 MiB L3, 400 GB/s)")
+
+    run = system.run(
+        workload, source=source, compute_reference=args.verify, **kwargs
+    )
+    print(run.describe())
+    for name, seconds in run.breakdown.items():
+        print(f"  {name:>12}: {seconds * 1e3:9.4f} ms")
+    for name, value in run.utilization.items():
+        print(f"  util {name:>7}: {value:8.1%}")
+    if args.verify:
+        print("  result verified against the sequential oracle")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = build_graph(args.kind, seed=args.seed)
+    if args.weights:
+        graph = with_uniform_weights(graph, seed=args.seed)
+    if args.out.endswith(".npz"):
+        graph_io.save_npz(graph, args.out)
+    elif args.out.endswith(".gr"):
+        graph_io.save_dimacs(graph, args.out)
+    else:
+        graph_io.save_edge_list(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    config = scaled_config(num_gpns=args.gpns, scale=args.scale)
+    print(f"NOVA configuration (Table II, scale {args.scale:g}):")
+    print(f"  GPNs x PEs:        {config.num_gpns} x {config.pes_per_gpn}")
+    print(f"  frequency:         {config.frequency_hz / 1e9:.1f} GHz")
+    print(f"  cache / PE:        {bytes_to_human(config.cache_bytes_per_pe)}")
+    print(
+        f"  vertex channel:    {bytes_to_human(config.vertex_channel.capacity_bytes)}"
+        f" @ {rate_to_human(config.vertex_channel.peak_bandwidth)}"
+    )
+    print(
+        f"  edge pool / GPN:   {bytes_to_human(config.edge_pool.capacity_bytes)}"
+        f" @ {rate_to_human(config.edge_pool.peak_bandwidth)}"
+    )
+    print(
+        f"  FUs / GPN:         {config.reduce_fus_per_gpn} reduce + "
+        f"{config.propagate_fus_per_gpn} propagate"
+    )
+    print(
+        f"  tracker:           superblock_dim={config.superblock_dim}, "
+        f"{config.tracker_capacity_bits() / 8 / 1024:.1f} KiB per PE "
+        f"(Eq 1-2)"
+    )
+    print(
+        f"  on-chip / GPN:     {bytes_to_human(config.onchip_bytes_per_gpn())}"
+    )
+    return 0
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    print("Resources to support WDC12 (Table IV):")
+    for row in terascale_requirements():
+        print("  " + row.row())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import validate_all
+
+    graph = build_graph(args.graph, seed=args.seed)
+    reports = validate_all(graph, scale=args.scale)
+    failed = 0
+    for report in reports:
+        print(report.summary())
+        if not report.passed:
+            failed += 1
+    print(
+        f"{len(reports) - failed}/{len(reports)} workloads validated "
+        "across functional/NOVA/PolyGraph/Ligra"
+    )
+    return 1 if failed else 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NOVA graph-accelerator reproduction (HPCA 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a workload")
+    run.add_argument("--system", choices=("nova", "polygraph", "ligra"),
+                     default="nova")
+    run.add_argument("--workload", choices=("bfs", "cc", "sssp", "pr", "bc"),
+                     default="bfs")
+    run.add_argument("--graph", default="rmat:14:16",
+                     help="graph specifier (see --help header)")
+    run.add_argument("--gpns", type=int, default=1)
+    run.add_argument("--scale", type=float, default=1 / 256,
+                     help="capacity scale vs Table II")
+    run.add_argument("--placement", default="random",
+                     choices=("interleave", "random", "load_balanced",
+                              "locality"))
+    run.add_argument("--vmu-mode", default="tracker",
+                     choices=("tracker", "fifo"))
+    run.add_argument("--onchip", default=None,
+                     help="PolyGraph on-chip size, e.g. 128KiB")
+    run.add_argument("--source", type=int, default=None,
+                     help="source vertex (default: highest out-degree)")
+    run.add_argument("--pr-supersteps", type=int, default=10)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--verify", action="store_true",
+                     help="check results against the sequential oracle")
+    run.set_defaults(func=_cmd_run)
+
+    gen = sub.add_parser("generate", help="build and save a graph")
+    gen.add_argument("--kind", required=True, help="graph specifier")
+    gen.add_argument("--out", required=True, help=".npz / .gr / .txt path")
+    gen.add_argument("--weights", action="store_true")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="print the system configuration")
+    info.add_argument("--gpns", type=int, default=1)
+    info.add_argument("--scale", type=float, default=1.0)
+    info.set_defaults(func=_cmd_info)
+
+    res = sub.add_parser("resources", help="Table IV terascale sizing")
+    res.set_defaults(func=_cmd_resources)
+
+    val = sub.add_parser(
+        "validate",
+        help="run every workload on every engine and check the oracles",
+    )
+    val.add_argument("--graph", default="rmat:11:8", help="graph specifier")
+    val.add_argument("--scale", type=float, default=1 / 256)
+    val.add_argument("--seed", type=int, default=42)
+    val.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

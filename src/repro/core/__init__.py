@@ -1,0 +1,35 @@
+"""NOVA: the paper's primary contribution.
+
+A NOVA system is a set of graph processing nodes (GPNs), each with eight
+processing elements (PEs).  Every PE owns a shard of the vertex set in
+its dedicated HBM2 channel and runs the decoupled three-unit pipeline of
+Fig 3:
+
+- **Message Processing Unit** (:class:`~repro.core.engine.NovaEngine`
+  MPU phase) -- reduces incoming messages into vertex properties through
+  a small direct-mapped cache.
+- **Vertex Management Unit** (:mod:`repro.core.tracker`) -- tracks active
+  vertices spilled to DRAM with per-superblock counters and prefetches
+  active blocks into the 80-entry active buffer.
+- **Message Generation Unit** (MGU phase) -- expands active vertices'
+  edges from DDR4 and emits messages into the interconnect.
+
+Public entry point: :class:`~repro.core.system.NovaSystem`.
+"""
+
+from repro.core.layout import VertexMemoryLayout
+from repro.core.tracker import TrackerModule
+from repro.core.queues import MessageQueue, PendingWork
+from repro.core.metrics import RunResult
+from repro.core.engine import NovaEngine
+from repro.core.system import NovaSystem
+
+__all__ = [
+    "VertexMemoryLayout",
+    "TrackerModule",
+    "MessageQueue",
+    "PendingWork",
+    "RunResult",
+    "NovaEngine",
+    "NovaSystem",
+]

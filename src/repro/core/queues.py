@@ -1,0 +1,171 @@
+"""Chunked numpy FIFOs for messages and pending propagation work.
+
+Both queues follow the same pattern: producers append whole numpy arrays
+(one append per quantum per producer), consumers pop bounded batches.
+Chunks avoid per-element Python overhead entirely; the only Python-level
+loop is over chunks, and a pop touches at most a handful.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class MessageQueue:
+    """FIFO of ``<destination, value>`` message batches."""
+
+    def __init__(self) -> None:
+        self._chunks: Deque[Tuple[np.ndarray, np.ndarray]] = deque()
+        self._head = 0  # offset into the first chunk
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, dest: np.ndarray, values: np.ndarray) -> None:
+        if dest.shape != values.shape:
+            raise SimulationError("dest and values must have equal length")
+        if dest.shape[0] == 0:
+            return
+        self._chunks.append((dest, values))
+        self._size += dest.shape[0]
+
+    def pop(self, budget: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Pop up to ``budget`` messages, preserving FIFO order."""
+        if budget <= 0 or self._size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0)
+        dest_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        taken = 0
+        while self._chunks and taken < budget:
+            dest, values = self._chunks[0]
+            available = dest.shape[0] - self._head
+            take = min(available, budget - taken)
+            dest_parts.append(dest[self._head : self._head + take])
+            val_parts.append(values[self._head : self._head + take])
+            taken += take
+            if take == available:
+                self._chunks.popleft()
+                self._head = 0
+            else:
+                self._head += take
+        self._size -= taken
+        return np.concatenate(dest_parts), np.concatenate(val_parts)
+
+
+class PendingWork:
+    """The active buffer's work stream: ``<alpha, start, end>`` entries.
+
+    Each entry is an active vertex with its value snapshot and its
+    (possibly partially consumed) edge range.  ``pop_edges`` returns
+    entries covering at most ``budget`` edges, splitting the last entry
+    if needed -- a high-degree vertex's propagation spans quanta, just as
+    it occupies the real MGU for many cycles.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: Deque[List[np.ndarray]] = deque()
+        self._entries = 0
+        self._edges = 0
+
+    @property
+    def entries(self) -> int:
+        return self._entries
+
+    @property
+    def edges(self) -> int:
+        return self._edges
+
+    def __len__(self) -> int:
+        return self._entries
+
+    def push(
+        self,
+        vertices: np.ndarray,
+        values: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+    ) -> None:
+        n = vertices.shape[0]
+        if not (values.shape[0] == starts.shape[0] == ends.shape[0] == n):
+            raise SimulationError("pending-work columns must align")
+        if n == 0:
+            return
+        if (ends < starts).any():
+            raise SimulationError("edge ranges must have end >= start")
+        self._chunks.append(
+            [
+                np.asarray(vertices, dtype=np.int64),
+                np.asarray(values, dtype=np.float64),
+                np.asarray(starts, dtype=np.int64),
+                np.asarray(ends, dtype=np.int64),
+            ]
+        )
+        self._entries += n
+        self._edges += int((ends - starts).sum())
+
+    def pop_edges(
+        self, budget: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pop work totalling at most ``budget`` edges (FIFO, splitting)."""
+        empty = np.empty(0, dtype=np.int64)
+        if budget <= 0 or self._entries == 0:
+            # Entries (not edges) gate the pop: degree-0 entries carry no
+            # edges but must still drain or the buffer never empties.
+            return empty, np.empty(0), empty.copy(), empty.copy()
+        out_v: List[np.ndarray] = []
+        out_a: List[np.ndarray] = []
+        out_s: List[np.ndarray] = []
+        out_e: List[np.ndarray] = []
+        remaining = budget
+        while self._chunks and remaining > 0:
+            vertices, values, starts, ends = self._chunks[0]
+            sizes = ends - starts
+            cum = np.cumsum(sizes)
+            if cum[-1] <= remaining:
+                # Whole chunk fits.
+                self._chunks.popleft()
+                out_v.append(vertices)
+                out_a.append(values)
+                out_s.append(starts)
+                out_e.append(ends)
+                taken = int(cum[-1])
+                self._entries -= vertices.shape[0]
+            else:
+                # Take full entries up to the budget, then split one.
+                k = int(np.searchsorted(cum, remaining, side="right"))
+                out_v.append(vertices[:k])
+                out_a.append(values[:k])
+                out_s.append(starts[:k])
+                out_e.append(ends[:k])
+                taken_full = int(cum[k - 1]) if k else 0
+                leftover = remaining - taken_full
+                taken = taken_full
+                if leftover > 0:
+                    # Partially consume entry k.
+                    out_v.append(vertices[k : k + 1])
+                    out_a.append(values[k : k + 1])
+                    out_s.append(starts[k : k + 1])
+                    out_e.append(starts[k : k + 1] + leftover)
+                    starts = starts.copy()
+                    starts[k] += leftover
+                    taken += leftover
+                # Keep the tail (entry k onward) as the new head chunk.
+                self._chunks[0] = [vertices[k:], values[k:], starts[k:], ends[k:]]
+                self._entries -= k
+            self._edges -= taken
+            remaining -= taken
+            if remaining <= 0:
+                break
+        return (
+            np.concatenate(out_v),
+            np.concatenate(out_a),
+            np.concatenate(out_s),
+            np.concatenate(out_e),
+        )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures with a single ``except`` clause while
+still distinguishing configuration mistakes from malformed inputs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list is malformed or internally inconsistent."""
+
+
+class ConfigError(ReproError):
+    """A system, memory, or network configuration is invalid."""
+
+
+class PartitionError(ReproError):
+    """A spatial or temporal partitioning request cannot be satisfied."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A vertex program was configured or invoked incorrectly."""

@@ -1,0 +1,55 @@
+"""Graph substrate: representation, generation, I/O, and partitioning.
+
+The accelerator consumes graphs in compressed sparse row (CSR) form --
+exactly the `row_ptr` / `edge_dests` / `edge_wgt` arrays of Algorithm 1 in
+the paper.  This package also provides the synthetic generators standing
+in for the paper's inputs (Table III), the three spatial vertex-mapping
+strategies of Section IV-B, and graph statistics used by the benches.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    uniform_random,
+    rmat,
+    road_grid,
+    power_law,
+    with_uniform_weights,
+)
+from repro.graph.partition import (
+    VertexPlacement,
+    interleave_placement,
+    random_placement,
+    load_balanced_placement,
+    locality_placement,
+    edge_cut_fraction,
+    load_imbalance,
+)
+from repro.graph.reorder import degree_order, bfs_order, community_order
+from repro.graph.properties import GraphSummary, summarize
+from repro.graph.suites import GraphSpec, paper_suite, build_graph
+from repro.graph import io
+
+__all__ = [
+    "CSRGraph",
+    "uniform_random",
+    "rmat",
+    "road_grid",
+    "power_law",
+    "with_uniform_weights",
+    "VertexPlacement",
+    "interleave_placement",
+    "random_placement",
+    "load_balanced_placement",
+    "locality_placement",
+    "edge_cut_fraction",
+    "load_imbalance",
+    "degree_order",
+    "bfs_order",
+    "community_order",
+    "GraphSummary",
+    "summarize",
+    "GraphSpec",
+    "paper_suite",
+    "build_graph",
+    "io",
+]

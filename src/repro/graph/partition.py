@@ -1,0 +1,167 @@
+"""Spatial vertex placement across PEs (Section IV-B).
+
+NOVA assigns every vertex (and its out-edges) to exactly one PE, so no
+two PEs ever update the same vertex and no atomics are needed.  The paper
+studies three placements (Fig 9b):
+
+- **random / interleaved** -- no preprocessing; vertices striped across
+  PEs by id (or by a random permutation).
+- **load-balanced** -- vertices sorted by out-degree and dealt round-robin
+  so every PE receives a similar number of edges.
+- **locality-optimized** -- a RABBIT-like ordering that places connected
+  vertices on the same PE (here: BFS discovery order, cut into
+  edge-balanced contiguous chunks), trading load balance for fewer
+  cross-PE messages.
+
+A placement is a :class:`VertexPlacement`: the owner PE of every vertex
+plus each vertex's *local index* within its PE.  Local indices define the
+vertex-memory layout that the tracker module's blocks and superblocks are
+built over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.reorder import bfs_order
+
+
+@dataclass(frozen=True)
+class VertexPlacement:
+    """Assignment of vertices to PEs with per-PE local numbering."""
+
+    owner: np.ndarray  # (V,) PE id of each vertex
+    local_id: np.ndarray  # (V,) index of each vertex within its PE
+    num_pes: int
+    strategy: str
+
+    def __post_init__(self) -> None:
+        if self.owner.shape != self.local_id.shape:
+            raise PartitionError("owner and local_id must have the same shape")
+        if self.num_pes <= 0:
+            raise PartitionError("num_pes must be positive")
+        if self.owner.size and (
+            self.owner.min() < 0 or self.owner.max() >= self.num_pes
+        ):
+            raise PartitionError("owner contains out-of-range PE ids")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.owner.shape[0]
+
+    def vertices_per_pe(self) -> np.ndarray:
+        return np.bincount(self.owner, minlength=self.num_pes)
+
+    def max_local_vertices(self) -> int:
+        """Vertex-memory slots needed per PE (the largest local id + 1)."""
+        if self.local_id.size == 0:
+            return 0
+        return int(self.local_id.max()) + 1
+
+    def pe_vertices(self, pe: int) -> np.ndarray:
+        """Global ids of the vertices owned by ``pe``, in local-id order."""
+        mask = self.owner == pe
+        ids = np.flatnonzero(mask)
+        return ids[np.argsort(self.local_id[ids], kind="stable")]
+
+
+def _placement_from_order(
+    order: np.ndarray, num_pes: int, strategy: str, contiguous: bool
+) -> VertexPlacement:
+    """Assign vertices listed in ``order`` to PEs.
+
+    ``contiguous`` splits the order into ``num_pes`` consecutive chunks
+    (locality); otherwise vertices are dealt round-robin (balance).
+    """
+    num_vertices = order.shape[0]
+    owner = np.empty(num_vertices, dtype=np.int64)
+    local_id = np.empty(num_vertices, dtype=np.int64)
+    positions = np.arange(num_vertices, dtype=np.int64)
+    if contiguous:
+        chunk = -(-num_vertices // num_pes)
+        owner[order] = np.minimum(positions // chunk, num_pes - 1)
+        local_id[order] = positions - (positions // chunk) * chunk
+        # Vertices spilled into the final PE by the min() keep growing ids.
+        overflow = positions // chunk >= num_pes
+        if overflow.any():
+            base = chunk
+            local_id[order[overflow]] = base + np.arange(overflow.sum())
+    else:
+        owner[order] = positions % num_pes
+        local_id[order] = positions // num_pes
+    return VertexPlacement(owner, local_id, num_pes, strategy)
+
+
+def interleave_placement(num_vertices: int, num_pes: int) -> VertexPlacement:
+    """Stripe vertices across PEs by id (the publisher-order mapping)."""
+    if num_pes <= 0 or num_vertices < 0:
+        raise PartitionError("invalid sizes")
+    order = np.arange(num_vertices, dtype=np.int64)
+    return _placement_from_order(order, num_pes, "interleave", contiguous=False)
+
+
+def random_placement(num_vertices: int, num_pes: int, seed: int = 1) -> VertexPlacement:
+    """Random permutation, then striped: no preprocessing insight at all."""
+    if num_pes <= 0 or num_vertices < 0:
+        raise PartitionError("invalid sizes")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_vertices).astype(np.int64)
+    return _placement_from_order(order, num_pes, "random", contiguous=False)
+
+
+def load_balanced_placement(graph: CSRGraph, num_pes: int) -> VertexPlacement:
+    """Sort by out-degree descending, deal round-robin (Section IV-B)."""
+    if num_pes <= 0:
+        raise PartitionError("num_pes must be positive")
+    degrees = graph.out_degrees()
+    order = np.argsort(-degrees, kind="stable").astype(np.int64)
+    return _placement_from_order(order, num_pes, "load_balanced", contiguous=False)
+
+
+def locality_placement(graph: CSRGraph, num_pes: int, source: int = 0) -> VertexPlacement:
+    """RABBIT-like locality mapping: BFS order cut into edge-balanced chunks."""
+    if num_pes <= 0:
+        raise PartitionError("num_pes must be positive")
+    order = bfs_order(graph, source)
+    degrees = graph.out_degrees()[order].astype(np.int64)
+    total = degrees.sum()
+    if total == 0:
+        return _placement_from_order(order, num_pes, "locality", contiguous=True)
+    # Cut the order where cumulative edges cross each 1/num_pes share.
+    cumulative = np.cumsum(degrees)
+    targets = (np.arange(1, num_pes) * total) // num_pes
+    cuts = np.searchsorted(cumulative, targets, side="left")
+    owner_by_position = np.zeros(order.shape[0], dtype=np.int64)
+    for pe, cut in enumerate(cuts, start=1):
+        owner_by_position[cut:] = pe
+    owner = np.empty(order.shape[0], dtype=np.int64)
+    owner[order] = owner_by_position
+    local_id = np.empty_like(owner)
+    positions = np.arange(order.shape[0], dtype=np.int64)
+    starts = np.concatenate([[0], cuts])
+    local_id[order] = positions - starts[owner_by_position]
+    return VertexPlacement(owner, local_id, num_pes, "locality")
+
+
+def edge_cut_fraction(graph: CSRGraph, placement: VertexPlacement) -> float:
+    """Fraction of edges whose endpoints live on different PEs."""
+    if graph.num_edges == 0:
+        return 0.0
+    src_owner = placement.owner[graph.edge_sources()]
+    dst_owner = placement.owner[graph.col_idx]
+    return float(np.count_nonzero(src_owner != dst_owner)) / graph.num_edges
+
+
+def load_imbalance(graph: CSRGraph, placement: VertexPlacement) -> float:
+    """Max-over-mean edges per PE; 1.0 is perfectly balanced."""
+    edges_per_pe = np.bincount(
+        placement.owner[graph.edge_sources()], minlength=placement.num_pes
+    )
+    mean = edges_per_pe.mean()
+    if mean == 0:
+        return 1.0
+    return float(edges_per_pe.max() / mean)

@@ -1,0 +1,253 @@
+"""Exact, vectorized direct-mapped write-back cache model.
+
+Each PE in NOVA fronts its HBM2 vertex channel with a small direct-mapped
+write-back cache (64 KiB by default, Section III-B).  The paper shows the
+cache captures little locality on large graphs; what matters for the
+timing model is an *exact* count of hits, misses, and dirty write-backs
+so that HBM traffic is charged correctly.
+
+:class:`CacheArray` models **all PEs' caches at once**: one batch of
+accesses tagged with (pe, block) resolves in a handful of numpy
+operations while reproducing in-order scalar cache semantics
+bit-for-bit:
+
+- Accesses are stably sorted by (pe, set).  Within one set's run, an
+  access hits iff the immediately preceding access in the run touched the
+  same block; the first access of a run consults the persistent tag
+  store.
+- Each maximal run of identical blocks within a set is a *tenancy*.  A
+  tenancy is dirty iff it inherited a dirty line (persistent-hit tenancy)
+  or any access in it was a write.  A miss that begins a new tenancy
+  writes back the previous tenancy's line iff that tenancy was dirty.
+
+:class:`DirectMappedCache` is the single-cache convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheBatchResult:
+    """Aggregate outcome of one batch of accesses."""
+
+    hits: int
+    misses: int
+    writebacks: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class CacheArrayResult(CacheBatchResult):
+    """Batch outcome with per-cache miss/write-back counts."""
+
+    misses_per_cache: np.ndarray = None
+    writebacks_per_cache: np.ndarray = None
+
+
+class CacheArray:
+    """``num_caches`` direct-mapped write-back caches, resolved together.
+
+    Addresses presented to :meth:`access` are (cache index, block number)
+    pairs; block ``b`` maps to set ``b % num_sets`` of its cache.
+    """
+
+    _INVALID = np.int64(-1)
+
+    def __init__(self, num_caches: int, capacity_bytes: int, line_bytes: int) -> None:
+        if num_caches <= 0:
+            raise ConfigError("num_caches must be positive")
+        if capacity_bytes <= 0 or line_bytes <= 0:
+            raise ConfigError("cache capacity and line size must be positive")
+        if capacity_bytes % line_bytes != 0:
+            raise ConfigError(
+                f"capacity {capacity_bytes} is not a multiple of line size "
+                f"{line_bytes}"
+            )
+        self.num_caches = num_caches
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.num_sets = capacity_bytes // line_bytes
+        total_sets = num_caches * self.num_sets
+        self._tags = np.full(total_sets, self._INVALID, dtype=np.int64)
+        self._dirty = np.zeros(total_sets, dtype=bool)
+        self.lifetime_hits = 0
+        self.lifetime_misses = 0
+        self.lifetime_writebacks = 0
+
+    def access(
+        self,
+        caches: np.ndarray,
+        blocks: np.ndarray,
+        writes: np.ndarray | bool,
+    ) -> CacheArrayResult:
+        """Resolve a batch of in-order accesses across all caches.
+
+        Args:
+            caches: int array selecting the cache of each access.
+            blocks: int64 block numbers, in program order per cache.
+            writes: bool array (or scalar) marking write accesses.
+
+        Returns:
+            Aggregate and per-cache hit/miss/write-back counts.  Lifetime
+            counters and persistent tag/dirty state update in place.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        caches = np.asarray(caches, dtype=np.int64)
+        if blocks.ndim != 1 or caches.shape != blocks.shape:
+            raise ConfigError("caches and blocks must be equal-length 1-D arrays")
+        n = blocks.shape[0]
+        zeros = np.zeros(self.num_caches, dtype=np.int64)
+        if n == 0:
+            return CacheArrayResult(0, 0, 0, zeros, zeros.copy())
+        if caches.size and (caches.min() < 0 or caches.max() >= self.num_caches):
+            raise ConfigError("cache index out of range")
+        if np.isscalar(writes) or isinstance(writes, (bool, np.bool_)):
+            writes = np.full(n, bool(writes), dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape != blocks.shape:
+                raise ConfigError("writes must match blocks in shape")
+
+        sets = caches * self.num_sets + blocks % self.num_sets
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        sorted_blocks = blocks[order]
+        sorted_writes = writes[order]
+        sorted_caches = caches[order]
+
+        first_of_set = np.empty(n, dtype=bool)
+        first_of_set[0] = True
+        first_of_set[1:] = sorted_sets[1:] != sorted_sets[:-1]
+
+        hits = np.empty(n, dtype=bool)
+        # Continuation accesses hit iff they repeat the previous block.
+        cont = ~first_of_set
+        hits[cont] = sorted_blocks[1:][cont[1:]] == sorted_blocks[:-1][cont[1:]]
+        # Run-leading accesses consult the persistent tag store.
+        lead_sets = sorted_sets[first_of_set]
+        hits[first_of_set] = self._tags[lead_sets] == sorted_blocks[first_of_set]
+
+        # A tenancy begins at every miss and at every persistent hit that
+        # leads a run (continuing a line resident before the batch).
+        tenancy_start = ~hits | first_of_set
+        start_idx = np.flatnonzero(tenancy_start)
+        seg_writes = np.logical_or.reduceat(sorted_writes, start_idx)
+        inherited = np.zeros(start_idx.shape[0], dtype=bool)
+        lead_hit_positions = np.flatnonzero(first_of_set & hits)
+        if lead_hit_positions.size:
+            match = np.searchsorted(start_idx, lead_hit_positions)
+            inherited[match] = self._dirty[sorted_sets[lead_hit_positions]]
+        seg_dirty = inherited | seg_writes
+
+        # Write-backs: a miss evicts the previous tenancy of its set if
+        # that tenancy was dirty -- either the persistent line (miss at a
+        # run head) or the in-batch tenancy immediately before it.
+        miss_at_head = first_of_set & ~hits
+        head_positions = np.flatnonzero(miss_at_head)
+        head_sets = sorted_sets[head_positions]
+        head_wb = (self._tags[head_sets] != self._INVALID) & self._dirty[head_sets]
+        wb_caches = [sorted_caches[head_positions][head_wb]]
+
+        miss_inside = ~first_of_set & ~hits
+        inside_positions = np.flatnonzero(miss_inside)
+        if inside_positions.size:
+            prev_seg = (
+                np.searchsorted(start_idx, inside_positions - 1, side="right") - 1
+            )
+            evicting = seg_dirty[prev_seg]
+            wb_caches.append(sorted_caches[inside_positions][evicting])
+        all_wb_caches = np.concatenate(wb_caches)
+        writebacks = int(all_wb_caches.shape[0])
+
+        # Persist final state: the last tenancy of each set run survives.
+        run_last = np.empty(n, dtype=bool)
+        run_last[-1] = True
+        run_last[:-1] = sorted_sets[1:] != sorted_sets[:-1]
+        last_positions = np.flatnonzero(run_last)
+        last_sets = sorted_sets[last_positions]
+        last_seg = np.searchsorted(start_idx, last_positions, side="right") - 1
+        self._tags[last_sets] = sorted_blocks[last_positions]
+        self._dirty[last_sets] = seg_dirty[last_seg]
+
+        hit_count = int(np.count_nonzero(hits))
+        miss_count = n - hit_count
+        self.lifetime_hits += hit_count
+        self.lifetime_misses += miss_count
+        self.lifetime_writebacks += writebacks
+        misses_per_cache = np.bincount(
+            sorted_caches[~hits], minlength=self.num_caches
+        )
+        writebacks_per_cache = np.bincount(all_wb_caches, minlength=self.num_caches)
+        return CacheArrayResult(
+            hits=hit_count,
+            misses=miss_count,
+            writebacks=writebacks,
+            misses_per_cache=misses_per_cache,
+            writebacks_per_cache=writebacks_per_cache,
+        )
+
+    def flush(self) -> int:
+        """Invalidate everything; return dirty lines written back."""
+        dirty_lines = int(
+            np.count_nonzero(self._dirty & (self._tags != self._INVALID))
+        )
+        self._tags.fill(self._INVALID)
+        self._dirty.fill(False)
+        self.lifetime_writebacks += dirty_lines
+        return dirty_lines
+
+    def hit_rate(self) -> float:
+        total = self.lifetime_hits + self.lifetime_misses
+        if total == 0:
+            return 0.0
+        return self.lifetime_hits / total
+
+
+class DirectMappedCache:
+    """A single direct-mapped write-back cache (CacheArray of one)."""
+
+    def __init__(self, capacity_bytes: int, line_bytes: int) -> None:
+        self._array = CacheArray(1, capacity_bytes, line_bytes)
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.num_sets = self._array.num_sets
+
+    def access(self, blocks: np.ndarray, writes: np.ndarray | bool) -> CacheBatchResult:
+        blocks = np.asarray(blocks, dtype=np.int64)
+        result = self._array.access(
+            np.zeros(blocks.shape[0], dtype=np.int64), blocks, writes
+        )
+        return CacheBatchResult(result.hits, result.misses, result.writebacks)
+
+    def flush(self) -> int:
+        return self._array.flush()
+
+    def hit_rate(self) -> float:
+        return self._array.hit_rate()
+
+    @property
+    def lifetime_hits(self) -> int:
+        return self._array.lifetime_hits
+
+    @property
+    def lifetime_misses(self) -> int:
+        return self._array.lifetime_misses
+
+    @property
+    def lifetime_writebacks(self) -> int:
+        return self._array.lifetime_writebacks
+
+    @property
+    def resident_blocks(self) -> np.ndarray:
+        """Blocks currently resident (for tests and invariants)."""
+        tags = self._array._tags
+        return tags[tags != CacheArray._INVALID]

@@ -1,0 +1,172 @@
+"""Per-quantum bandwidth accounting for memory channels.
+
+The simulator advances in variable-duration quanta (see
+:mod:`repro.sim.engine`).  Within a quantum, every unit that touches a
+memory channel charges bytes to a :class:`BandwidthChannel`; the channel
+converts the charges into the *service time* the channel would need, and
+the quantum's duration is the maximum service time over all shared
+resources.  Channels also accumulate lifetime statistics in the categories
+the paper reports (Fig 10): useful reads, wasteful reads (inactive blocks
+read while searching for active blocks), and writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.errors import ConfigError, SimulationError
+from repro.memory.spec import MemorySpec
+
+
+@dataclass
+class TrafficTotals:
+    """Lifetime byte totals for one channel, by category."""
+
+    useful_read_bytes: int = 0
+    wasteful_read_bytes: int = 0
+    write_bytes: int = 0
+
+    @property
+    def read_bytes(self) -> int:
+        return self.useful_read_bytes + self.wasteful_read_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass
+class _QuantumCharges:
+    """Byte charges accumulated during the current quantum."""
+
+    random_read: float = 0.0
+    sequential_read: float = 0.0
+    random_write: float = 0.0
+    sequential_write: float = 0.0
+
+    def reset(self) -> None:
+        self.random_read = 0.0
+        self.sequential_read = 0.0
+        self.random_write = 0.0
+        self.sequential_write = 0.0
+
+
+class BandwidthChannel:
+    """Accounting wrapper around one :class:`MemorySpec`.
+
+    The channel distinguishes *random* from *sequential* traffic because
+    the two sustain different fractions of peak bandwidth (HBM2 is nearly
+    pattern-insensitive; DDR4 collapses under random access).  The caller
+    declares the pattern per charge; the paper's design maps vertex traffic
+    to random HBM2 accesses and edge traffic to sequential DDR4 streams.
+    """
+
+    def __init__(self, spec: MemorySpec) -> None:
+        self.spec = spec
+        self.totals = TrafficTotals()
+        self._quantum = _QuantumCharges()
+        self.busy_seconds = 0.0
+
+    def charge_read(
+        self, nbytes: int, *, sequential: bool = False, useful: bool = True
+    ) -> None:
+        """Charge a read of ``nbytes`` (rounded up to whole atoms)."""
+        if nbytes < 0:
+            raise SimulationError("cannot charge a negative read")
+        if nbytes == 0:
+            return
+        nbytes = self.spec.round_up(nbytes)
+        if useful:
+            self.totals.useful_read_bytes += nbytes
+        else:
+            self.totals.wasteful_read_bytes += nbytes
+        if sequential:
+            self._quantum.sequential_read += nbytes
+        else:
+            self._quantum.random_read += nbytes
+
+    def charge_write(self, nbytes: int, *, sequential: bool = False) -> None:
+        """Charge a write of ``nbytes`` (rounded up to whole atoms)."""
+        if nbytes < 0:
+            raise SimulationError("cannot charge a negative write")
+        if nbytes == 0:
+            return
+        nbytes = self.spec.round_up(nbytes)
+        self.totals.write_bytes += nbytes
+        if sequential:
+            self._quantum.sequential_write += nbytes
+        else:
+            self._quantum.random_write += nbytes
+
+    def quantum_service_time(self) -> float:
+        """Seconds this channel needs to serve the current quantum's bytes.
+
+        Duplex channels (HBM2 vertex memory) overlap the read and write
+        streams, so the service time is the slower stream; simplex
+        channels serialize them.
+        """
+        read_time = (
+            self._quantum.random_read / self.spec.random_bandwidth
+            + self._quantum.sequential_read / self.spec.sequential_bandwidth
+        )
+        write_time = (
+            self._quantum.random_write / self.spec.random_bandwidth
+            + self._quantum.sequential_write / self.spec.sequential_bandwidth
+        )
+        if self.spec.duplex:
+            return max(read_time, write_time)
+        return read_time + write_time
+
+    def end_quantum(self, quantum_seconds: float) -> None:
+        """Close the quantum: record busy time and reset per-quantum state."""
+        service = self.quantum_service_time()
+        if service > quantum_seconds + 1e-15:
+            raise SimulationError(
+                f"{self.spec.name}: service time {service:.3e}s exceeds "
+                f"quantum {quantum_seconds:.3e}s; the engine must size the "
+                "quantum to the slowest resource"
+            )
+        self.busy_seconds += service
+        self._quantum.reset()
+
+    def utilization(self, elapsed_seconds: float) -> float:
+        """Fraction of elapsed time this channel was busy."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / elapsed_seconds)
+
+
+class ChannelGroup:
+    """A named collection of channels sharing a quantum boundary."""
+
+    def __init__(self, channels: Dict[str, BandwidthChannel] | None = None) -> None:
+        self._channels: Dict[str, BandwidthChannel] = dict(channels or {})
+
+    def add(self, name: str, channel: BandwidthChannel) -> BandwidthChannel:
+        if name in self._channels:
+            raise ConfigError(f"duplicate channel name: {name}")
+        self._channels[name] = channel
+        return channel
+
+    def __getitem__(self, name: str) -> BandwidthChannel:
+        return self._channels[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def names(self) -> Iterable[str]:
+        return self._channels.keys()
+
+    def quantum_service_time(self) -> float:
+        """The slowest channel's service time for the current quantum."""
+        if not self._channels:
+            return 0.0
+        return max(c.quantum_service_time() for c in self._channels.values())
+
+    def end_quantum(self, quantum_seconds: float) -> None:
+        for channel in self._channels.values():
+            channel.end_quantum(quantum_seconds)
+
+    def totals(self) -> Dict[str, TrafficTotals]:
+        return {name: c.totals for name, c in self._channels.items()}

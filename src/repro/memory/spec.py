@@ -1,0 +1,155 @@
+"""Declarative memory technology specifications.
+
+The paper pairs two off-chip technologies per graph processing node (GPN):
+
+- **HBM2** for vertices: one stack of eight channels, 256 GB/s aggregate,
+  4 GiB capacity, 32-byte atoms, and high efficiency under *random* access
+  (Section IV-A cites Shuhai [47] for this property).
+- **DDR4** for edges: four channels, 76.8 GB/s aggregate, 128 GiB capacity,
+  64-byte lines, efficient only under *sequential* access.
+
+A :class:`MemorySpec` captures exactly the parameters the timing model
+needs; factory functions below build the paper's configurations (Table II)
+and allow scaling capacities for the reduced-size evaluation suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import GB, GiB
+
+#: Conservative open-page access latencies, in seconds.
+HBM2_LATENCY_S = 100e-9
+DDR4_LATENCY_S = 60e-9
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Static description of one memory channel or channel group.
+
+    Attributes:
+        name: Human-readable identifier (used in stats output).
+        atom_bytes: Smallest addressable transfer; every access is rounded
+            up to a multiple of this (HBM2 = 32 B, DDR4 = 64 B).
+        capacity_bytes: Usable capacity.
+        peak_bandwidth: Peak theoretical bandwidth in bytes/second.
+        random_efficiency: Fraction of peak sustained under random access.
+        sequential_efficiency: Fraction of peak sustained under streaming.
+        latency_s: Unloaded access latency in seconds.
+        duplex: Whether read and write streams overlap (service time is
+            the max of the two instead of their sum).  Used for the HBM2
+            vertex channel, where pseudo-channel parallelism and write
+            combining let read-modify-write update streams approach the
+            per-direction bandwidth; this calibration reproduces the
+            paper's 6.4 GTEPS at ~80% HBM utilization (Section VI-C1).
+    """
+
+    name: str
+    atom_bytes: int
+    capacity_bytes: int
+    peak_bandwidth: float
+    random_efficiency: float
+    sequential_efficiency: float
+    latency_s: float
+    duplex: bool = False
+
+    def __post_init__(self) -> None:
+        if self.atom_bytes <= 0:
+            raise ConfigError(f"{self.name}: atom_bytes must be positive")
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"{self.name}: capacity_bytes must be positive")
+        if self.peak_bandwidth <= 0:
+            raise ConfigError(f"{self.name}: peak_bandwidth must be positive")
+        for field in ("random_efficiency", "sequential_efficiency"):
+            value = getattr(self, field)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(
+                    f"{self.name}: {field} must be in (0, 1], got {value}"
+                )
+        if self.latency_s < 0:
+            raise ConfigError(f"{self.name}: latency_s must be non-negative")
+
+    @property
+    def random_bandwidth(self) -> float:
+        """Sustained bandwidth under random access, bytes/second."""
+        return self.peak_bandwidth * self.random_efficiency
+
+    @property
+    def sequential_bandwidth(self) -> float:
+        """Sustained bandwidth under streaming access, bytes/second."""
+        return self.peak_bandwidth * self.sequential_efficiency
+
+    def round_up(self, nbytes: int) -> int:
+        """Round a transfer size up to a whole number of atoms."""
+        atoms = -(-nbytes // self.atom_bytes)
+        return atoms * self.atom_bytes
+
+    def scaled(self, capacity_scale: float) -> "MemorySpec":
+        """Return a copy with capacity scaled (bandwidth untouched).
+
+        The evaluation suite shrinks graphs and on-chip structures by a
+        common factor but keeps bandwidths at paper values so execution
+        time stays bandwidth-shaped (see DESIGN.md section 6).
+        """
+        if capacity_scale <= 0:
+            raise ConfigError("capacity_scale must be positive")
+        new_capacity = max(self.atom_bytes, int(self.capacity_bytes * capacity_scale))
+        return replace(self, capacity_bytes=new_capacity)
+
+
+def hbm2_channel(capacity_bytes: int = GiB // 2) -> MemorySpec:
+    """One HBM2 channel: 32 GB/s, 32 B atoms (Table II: 8 per stack)."""
+    return MemorySpec(
+        name="HBM2-channel",
+        atom_bytes=32,
+        capacity_bytes=capacity_bytes,
+        peak_bandwidth=32 * GB,
+        random_efficiency=0.80,
+        sequential_efficiency=0.90,
+        latency_s=HBM2_LATENCY_S,
+        duplex=True,
+    )
+
+
+def hbm2_stack(capacity_bytes: int = 4 * GiB) -> MemorySpec:
+    """One HBM2 stack: 8 channels, 256 GB/s aggregate, 4 GiB (Table II)."""
+    return MemorySpec(
+        name="HBM2-stack",
+        atom_bytes=32,
+        capacity_bytes=capacity_bytes,
+        peak_bandwidth=256 * GB,
+        random_efficiency=0.80,
+        sequential_efficiency=0.90,
+        latency_s=HBM2_LATENCY_S,
+        duplex=True,
+    )
+
+
+def ddr4_channel(capacity_bytes: int = 32 * GiB) -> MemorySpec:
+    """One DDR4-2400 channel: 19.2 GB/s, 64 B lines."""
+    return MemorySpec(
+        name="DDR4-channel",
+        atom_bytes=64,
+        capacity_bytes=capacity_bytes,
+        peak_bandwidth=19.2 * GB,
+        random_efficiency=0.30,
+        sequential_efficiency=0.85,
+        latency_s=DDR4_LATENCY_S,
+    )
+
+
+def ddr4_pool(channels: int = 4, capacity_bytes: int = 128 * GiB) -> MemorySpec:
+    """A group of DDR4 channels treated as one pool (Table II: 4 per GPN)."""
+    if channels <= 0:
+        raise ConfigError("channels must be positive")
+    return MemorySpec(
+        name=f"DDR4-x{channels}",
+        atom_bytes=64,
+        capacity_bytes=capacity_bytes,
+        peak_bandwidth=channels * 19.2 * GB,
+        random_efficiency=0.30,
+        sequential_efficiency=0.85,
+        latency_s=DDR4_LATENCY_S,
+    )

@@ -1,0 +1,92 @@
+"""A minimal discrete-event simulation kernel.
+
+The throughput-shaped quantum engine (:mod:`repro.sim.engine`) drives the
+full-system models, but fine-grained unit studies (memory channel
+queueing, active-buffer occupancy traces) and several tests want classic
+event-driven semantics: schedule a callback at an absolute time, run the
+queue in time order with deterministic FIFO tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then insertion order."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.executed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        event = Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError("cannot schedule an event in the past")
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def empty(self) -> bool:
+        return not any(not e.cancelled for e in self._heap)
+
+    def step(self) -> Optional[Event]:
+        """Run the next pending event; return it, or None if drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.executed += 1
+            return event
+        return None
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events in order; stop at ``until`` seconds or ``max_events``.
+
+        Returns the number of events executed by this call.
+        """
+        count = 0
+        while self._heap:
+            if max_events is not None and count >= max_events:
+                break
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            self.step()
+            count += 1
+        if until is not None and (not self._heap or self._heap[0].time > until):
+            self.now = max(self.now, until)
+        return count

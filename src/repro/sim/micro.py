@@ -1,0 +1,191 @@
+"""Event-driven single-PE micro-model.
+
+The full-system engines use throughput-shaped quanta (DESIGN.md
+section 4).  This module cross-validates that abstraction the way the
+paper validates gem5 against RTL: a discrete-event model of ONE PE's
+message-processing path at per-message granularity --
+
+    message arrival -> (cache miss? HBM read) -> reduce FU -> done
+
+with explicit queueing at the HBM channel (single server, fixed access
+latency plus occupancy per transfer) and at the reduce FU pool
+(``fu_count`` servers).  Steady-state throughput must match the quantum
+model's analytic bound ``min(fu_rate, bandwidth / miss_bytes)``; per-
+message latency shows the queueing behaviour the quanta abstract away.
+
+Used by ``tests/sim/test_micro.py`` to pin the abstraction error, and
+available to users who want latency distributions the fluid model
+cannot provide.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.memory.cache import DirectMappedCache
+from repro.sim.event import EventQueue
+
+
+@dataclass(frozen=True)
+class MicroPEConfig:
+    """One PE's message-processing resources (Table II per-PE shares)."""
+
+    fu_count: int = 2
+    frequency_hz: float = 2e9
+    #: Cycles one reduce occupies a functional unit.
+    reduce_cycles: int = 1
+    cache_bytes: int = 64 * 1024
+    cache_line_bytes: int = 32
+    hbm_bandwidth: float = 32e9 * 0.8  # one channel, random-access derated
+    hbm_latency_s: float = 100e-9
+    access_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.fu_count <= 0:
+            raise ConfigError("fu_count must be positive")
+        if self.hbm_bandwidth <= 0 or self.frequency_hz <= 0:
+            raise ConfigError("rates must be positive")
+
+    @property
+    def fu_service_s(self) -> float:
+        return self.reduce_cycles / self.frequency_hz
+
+    @property
+    def fu_rate(self) -> float:
+        """Aggregate reduces/second of the FU pool."""
+        return self.fu_count * self.frequency_hz / self.reduce_cycles
+
+    @property
+    def hbm_occupancy_s(self) -> float:
+        """Channel occupancy of one vertex access."""
+        return self.access_bytes / self.hbm_bandwidth
+
+    def analytic_throughput(self, miss_rate: float) -> float:
+        """The quantum model's steady-state bound, messages/second."""
+        if miss_rate <= 0:
+            return self.fu_rate
+        return min(self.fu_rate, self.hbm_bandwidth / self.access_bytes / miss_rate)
+
+
+@dataclass
+class MicroRunStats:
+    """Outcome of one micro simulation."""
+
+    messages: int
+    elapsed_seconds: float
+    latencies: np.ndarray = field(repr=False)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def throughput(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.messages / self.elapsed_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        if self.latencies.size == 0:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+
+class _Server:
+    """A single FIFO resource: requests serialize on occupancy."""
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+
+    def request(self, now: float, occupancy: float) -> float:
+        """Claim the server at ``now``; return the finish time."""
+        start = max(now, self.busy_until)
+        self.busy_until = start + occupancy
+        return self.busy_until
+
+
+class _Pool:
+    """``k`` identical servers; requests take the earliest-free one."""
+
+    def __init__(self, count: int) -> None:
+        self._free_at: List[float] = [0.0] * count
+        heapq.heapify(self._free_at)
+
+    def request(self, now: float, occupancy: float) -> float:
+        earliest = heapq.heappop(self._free_at)
+        start = max(now, earliest)
+        done = start + occupancy
+        heapq.heappush(self._free_at, done)
+        return done
+
+
+class MicroPE:
+    """Event-driven message-processing pipeline of one PE."""
+
+    def __init__(self, config: MicroPEConfig) -> None:
+        self.config = config
+        self.queue = EventQueue()
+        self.cache = DirectMappedCache(
+            config.cache_bytes, config.cache_line_bytes
+        )
+        self.hbm = _Server()
+        self.fus = _Pool(config.fu_count)
+
+    def run_stream(
+        self,
+        blocks: np.ndarray,
+        arrival_interval_s: float = 0.0,
+    ) -> MicroRunStats:
+        """Process a stream of vertex-block accesses, one per message.
+
+        Args:
+            blocks: destination block of each message, in arrival order.
+            arrival_interval_s: message inter-arrival gap (0 = the inbox
+                is saturated, the steady-state regime of interest).
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        n = blocks.shape[0]
+        completions = np.zeros(n)
+        latencies = np.zeros(n)
+        hits = 0
+        config = self.config
+
+        for i in range(n):
+            arrival = i * arrival_interval_s
+            # Cache lookup (instantaneous tag check).
+            outcome = self.cache.access(blocks[i : i + 1], writes=True)
+            if outcome.hits:
+                hits += 1
+                ready = arrival
+            else:
+                # Occupancy serializes on the channel; the fixed access
+                # latency overlaps across outstanding requests.
+                finish = self.hbm.request(arrival, config.hbm_occupancy_s)
+                ready = finish + config.hbm_latency_s
+            done = self.fus.request(ready, config.fu_service_s)
+            completions[i] = done
+            latencies[i] = done - arrival
+
+        elapsed = float(completions.max()) if n else 0.0
+        return MicroRunStats(
+            messages=n,
+            elapsed_seconds=elapsed,
+            latencies=latencies,
+            cache_hits=hits,
+            cache_misses=n - hits,
+        )
+
+    def run_random_stream(
+        self,
+        num_messages: int,
+        num_blocks: int,
+        seed: int = 1,
+        arrival_interval_s: float = 0.0,
+    ) -> MicroRunStats:
+        """Uniform-random destinations over ``num_blocks`` blocks."""
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, num_blocks, size=num_messages)
+        return self.run_stream(blocks, arrival_interval_s)

@@ -1,0 +1,88 @@
+"""Hierarchical statistics registry.
+
+Simulator components record scalar counters into named groups, mirroring
+gem5's per-SimObject stats.  Groups nest, dump to nested dicts for
+programmatic inspection, and render as aligned text for bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.errors import SimulationError
+
+StatValue = Union[int, float]
+
+
+class StatGroup:
+    """A nested namespace of scalar statistics."""
+
+    def __init__(self, name: str = "root") -> None:
+        self.name = name
+        self._scalars: Dict[str, StatValue] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    def child(self, name: str) -> "StatGroup":
+        """Return (creating if needed) a nested group."""
+        if name in self._scalars:
+            raise SimulationError(f"{name} is already a scalar in {self.name}")
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def add(self, name: str, amount: StatValue = 1) -> None:
+        """Increment scalar ``name`` by ``amount`` (creating it at zero)."""
+        if name in self._children:
+            raise SimulationError(f"{name} is already a group in {self.name}")
+        self._scalars[name] = self._scalars.get(name, 0) + amount
+
+    def set(self, name: str, value: StatValue) -> None:
+        """Set scalar ``name`` to ``value``."""
+        if name in self._children:
+            raise SimulationError(f"{name} is already a group in {self.name}")
+        self._scalars[name] = value
+
+    def get(self, name: str, default: StatValue = 0) -> StatValue:
+        return self._scalars.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scalars or name in self._children
+
+    def items(self) -> Iterator[Tuple[str, StatValue]]:
+        return iter(self._scalars.items())
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested plain-dict view (scalars and child groups)."""
+        out: Dict[str, object] = dict(self._scalars)
+        for name, group in self._children.items():
+            out[name] = group.to_dict()
+        return out
+
+    def flat(self, prefix: str = "") -> Dict[str, StatValue]:
+        """Flatten to dotted names, e.g. ``pe0.mpu.messages``."""
+        out: Dict[str, StatValue] = {}
+        for key, value in self._scalars.items():
+            out[prefix + key] = value
+        for name, group in self._children.items():
+            out.update(group.flat(prefix + name + "."))
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """Aligned, human-readable text dump."""
+        pad = "  " * indent
+        lines = []
+        if self._scalars:
+            width = max(len(k) for k in self._scalars)
+            for key in sorted(self._scalars):
+                value = self._scalars[key]
+                if isinstance(value, float):
+                    lines.append(f"{pad}{key:<{width}}  {value:.6g}")
+                else:
+                    lines.append(f"{pad}{key:<{width}}  {value}")
+        for name in sorted(self._children):
+            lines.append(f"{pad}{name}:")
+            lines.append(self._children[name].render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name}, scalars={len(self._scalars)}, children={len(self._children)})"

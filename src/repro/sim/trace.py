@@ -1,0 +1,91 @@
+"""Per-quantum execution traces.
+
+When enabled, the NOVA engine records one sample per quantum: elapsed
+time, work done by each pipeline stage, queue occupancies, and
+bandwidth-resource service times.  Traces answer the questions gem5's
+per-SimObject stats answer -- where did time go, what was the bottleneck
+at each point of execution -- and back the pipeline-behaviour tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class QuantumSample:
+    """One quantum's snapshot."""
+
+    index: int
+    start_seconds: float
+    duration_seconds: float
+    messages_reduced: int
+    vertices_collected: int
+    edges_expanded: int
+    inbox_backlog: int
+    buffer_occupancy: int
+    tracked_blocks: int
+    bottleneck: str
+    bottleneck_seconds: float
+
+
+class TraceRecorder:
+    """Accumulates quantum samples and derives summaries."""
+
+    def __init__(self) -> None:
+        self.samples: List[QuantumSample] = []
+
+    def record(self, sample: QuantumSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """One attribute across all samples, as an array."""
+        return np.array([getattr(s, name) for s in self.samples])
+
+    def bottleneck_share(self) -> Dict[str, float]:
+        """Fraction of elapsed time attributed to each bottleneck."""
+        total = float(self.column("duration_seconds").sum())
+        if total <= 0:
+            return {}
+        shares: Dict[str, float] = {}
+        for sample in self.samples:
+            shares[sample.bottleneck] = (
+                shares.get(sample.bottleneck, 0.0) + sample.duration_seconds
+            )
+        return {k: v / total for k, v in shares.items()}
+
+    def peak_backlog(self) -> int:
+        if not self.samples:
+            return 0
+        return int(self.column("inbox_backlog").max())
+
+    def summary(self) -> str:
+        """Human-readable trace digest."""
+        if not self.samples:
+            return "empty trace"
+        durations = self.column("duration_seconds")
+        lines = [
+            f"quanta: {len(self.samples)}, elapsed "
+            f"{durations.sum() * 1e6:.1f} us, mean quantum "
+            f"{durations.mean() * 1e9:.0f} ns",
+            f"peak inbox backlog: {self.peak_backlog():,} messages",
+            f"peak buffer occupancy: {int(self.column('buffer_occupancy').max()):,} entries",
+            "time by bottleneck: "
+            + ", ".join(
+                f"{name}={share:.0%}"
+                for name, share in sorted(
+                    self.bottleneck_share().items(), key=lambda kv: -kv[1]
+                )
+            ),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Vertex-centric graph workloads.
+
+The paper evaluates five workloads (Section V): BFS, CC, and SSSP in the
+asynchronous message-driven mode, and PageRank and Betweenness Centrality
+in the bulk-synchronous (BSP) mode.  Each workload is a
+:class:`~repro.workloads.base.VertexProgram`: a reduce function applied
+by the Message Processing Unit and a propagate function applied by the
+Message Generation Unit, exactly mirroring Algorithm 1.
+"""
+
+from repro.workloads.base import VertexProgram, ProgramState, ReduceOutcome, expand_edges
+from repro.workloads.adapters import BSPAdapter
+from repro.workloads.bfs import BFS
+from repro.workloads.sssp import SSSP
+from repro.workloads.cc import ConnectedComponents
+from repro.workloads.pagerank import PageRank
+from repro.workloads.pagerank_delta import PageRankDelta
+from repro.workloads.bc import BetweennessCentrality
+from repro.workloads import reference
+
+_REGISTRY = {
+    "bfs": BFS,
+    "sssp": SSSP,
+    "cc": ConnectedComponents,
+    "pr": PageRank,
+    "pr-delta": PageRankDelta,
+    "bc": BetweennessCentrality,
+}
+
+
+def get_workload(name: str, **kwargs) -> VertexProgram:
+    """Instantiate a workload by name.
+
+    The paper's five: ``bfs``, ``cc``, ``sssp`` (async), ``pr``, ``bc``
+    (BSP) -- plus ``pr-delta``, the asynchronous PageRank variant the
+    paper discusses and rejects in Section V.
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def workload_names() -> list:
+    """Paper order: BFS, CC, SSSP (async); PR, BC (BSP)."""
+    return ["bfs", "cc", "sssp", "pr", "bc"]
+
+
+__all__ = [
+    "VertexProgram",
+    "ProgramState",
+    "ReduceOutcome",
+    "expand_edges",
+    "BSPAdapter",
+    "BFS",
+    "SSSP",
+    "ConnectedComponents",
+    "PageRank",
+    "PageRankDelta",
+    "BetweennessCentrality",
+    "get_workload",
+    "workload_names",
+    "reference",
+]

@@ -1,0 +1,86 @@
+"""Energy model: Table V power + DRAM access energy applied to runs."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    estimate_energy,
+    gpn_pipeline_watts,
+)
+from repro.core.system import NovaSystem
+from repro.errors import ConfigError
+
+
+class TestPipelinePower:
+    def test_table_v_baseline(self):
+        # 3.274 W per GPN at the prototype's 1 GHz.
+        assert gpn_pipeline_watts(1e9) == pytest.approx(3.274)
+
+    def test_scales_with_frequency(self):
+        assert gpn_pipeline_watts(2e9) == pytest.approx(2 * 3.274)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            gpn_pipeline_watts(0)
+
+
+class TestBreakdown:
+    def test_total_and_shares(self):
+        b = EnergyBreakdown(pipeline_j=1.0, hbm_j=2.0, ddr_j=1.0,
+                            network_j=0.0)
+        assert b.total_j == 4.0
+        shares = b.shares()
+        assert shares["hbm"] == pytest.approx(0.5)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert EnergyBreakdown(0, 0, 0, 0).shares() == {}
+
+
+class TestEstimate:
+    @pytest.fixture
+    def run(self, small_config, rmat_graph, rmat_source):
+        return NovaSystem(small_config, rmat_graph).run(
+            "bfs", source=rmat_source
+        )
+
+    def test_report_fields(self, run, small_config):
+        report = estimate_energy(run, num_gpns=small_config.num_gpns)
+        assert report.total_j > 0
+        assert report.average_watts > 0
+        assert report.nj_per_edge > 0
+        assert report.gteps_per_watt > 0
+        assert "GTEPS/W" in report.summary()
+
+    def test_pipeline_dominates_short_runs(self, run, small_config):
+        """Static pipeline power over the run time usually dwarfs the
+        byte-proportional DRAM energy at tiny scale."""
+        report = estimate_energy(run, num_gpns=small_config.num_gpns)
+        assert report.breakdown.pipeline_j > report.breakdown.network_j
+
+    def test_energy_consistency(self, run, small_config):
+        report = estimate_energy(run, num_gpns=small_config.num_gpns)
+        assert report.average_watts * report.elapsed_seconds == (
+            pytest.approx(report.total_j)
+        )
+
+    def test_overfetch_costs_energy(self, small_config, grid_graph):
+        """Wasteful prefetch reads show up in the HBM energy."""
+        run = NovaSystem(small_config, grid_graph).run("bfs", source=0)
+        report = estimate_energy(run, num_gpns=small_config.num_gpns)
+        waste_bytes = run.traffic["hbm_wasteful_read_bytes"]
+        assert waste_bytes > 0
+        assert report.breakdown.hbm_j > waste_bytes * 8 * 4.0 * 1e-12 * 0.99
+
+    def test_rejects_non_nova(self, rmat_graph, rmat_source):
+        from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
+
+        pg_run = PolyGraphSystem(
+            PolyGraphConfig(onchip_bytes=2048), rmat_graph
+        ).run("bfs", source=rmat_source)
+        with pytest.raises(ConfigError):
+            estimate_energy(pg_run, num_gpns=1)
+
+    def test_rejects_bad_gpns(self, run):
+        with pytest.raises(ConfigError):
+            estimate_energy(run, num_gpns=0)

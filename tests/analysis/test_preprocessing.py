@@ -1,0 +1,66 @@
+"""Preprocessing-cost amortization model (Section II-C1)."""
+
+import pytest
+
+from repro.analysis.preprocessing import (
+    amortization,
+    preprocessing_seconds,
+)
+from repro.errors import ConfigError
+
+
+class TestPreprocessingCost:
+    def test_free_strategies(self, rmat_graph):
+        assert preprocessing_seconds(rmat_graph, "interleave") == 0.0
+        assert preprocessing_seconds(rmat_graph, "random") < (
+            preprocessing_seconds(rmat_graph, "load_balanced")
+        )
+
+    def test_locality_is_rabbit_class(self, rmat_graph):
+        heavy = preprocessing_seconds(rmat_graph, "locality")
+        light = preprocessing_seconds(rmat_graph, "load_balanced")
+        assert heavy == pytest.approx(30 * light)
+
+    def test_scales_with_edges(self, rmat_graph, grid_graph):
+        a = preprocessing_seconds(rmat_graph, "locality")
+        b = preprocessing_seconds(grid_graph, "locality")
+        assert a / b == pytest.approx(
+            rmat_graph.num_edges / grid_graph.num_edges
+        )
+
+    def test_validation(self, rmat_graph):
+        with pytest.raises(ConfigError):
+            preprocessing_seconds(rmat_graph, "metis")
+        with pytest.raises(ConfigError):
+            preprocessing_seconds(rmat_graph, "locality", ops_per_second=0)
+
+
+class TestAmortization:
+    def test_payback_math(self, rmat_graph):
+        report = amortization(
+            rmat_graph,
+            "locality",
+            strategy_run_seconds=0.9e-3,
+            baseline_run_seconds=1.0e-3,
+        )
+        assert report.per_run_benefit_seconds == pytest.approx(1e-4)
+        expected_runs = report.preprocessing_seconds / 1e-4
+        assert report.amortization_runs == pytest.approx(expected_runs)
+
+    def test_never_amortizes_when_slower(self, rmat_graph):
+        report = amortization(
+            rmat_graph,
+            "locality",
+            strategy_run_seconds=2e-3,
+            baseline_run_seconds=1e-3,
+        )
+        assert report.amortization_runs == float("inf")
+        assert "never" in report.row()
+
+    def test_row_renders(self, rmat_graph):
+        report = amortization(
+            rmat_graph, "load_balanced",
+            strategy_run_seconds=0.5e-3, baseline_run_seconds=1e-3,
+        )
+        assert "load_balanced" in report.row()
+        assert "runs" in report.row()

@@ -1,0 +1,97 @@
+"""Tracker capacity (Eq 1-2) and Table IV resource requirements."""
+
+import pytest
+
+from repro.analysis.resources import (
+    WDC12,
+    GraphScale,
+    active_block_bits,
+    bitvector_bits,
+    terascale_requirements,
+    tracker_requirements,
+)
+from repro.errors import ConfigError
+from repro.units import GiB, MiB, TiB
+
+
+class TestWdc12Example:
+    """Section III-D walks WDC12 through the three tracking schemes."""
+
+    def test_vertex_set_size(self):
+        # Paper: "vertex set size in WDC12 is 57.6 GiB" (i.e. 57.6 GB).
+        assert WDC12.vertex_capacity_bytes == pytest.approx(57.6e9)
+
+    def test_bitvector_about_440_mib(self):
+        bits = bitvector_bits(WDC12.num_vertices)
+        assert bits / 8 == pytest.approx(440 * MiB, rel=0.05)
+
+    def test_active_blocks_about_220_mib(self):
+        bits = active_block_bits(WDC12.num_vertices)
+        assert bits / 8 == pytest.approx(220 * MiB, rel=0.05)
+
+    def test_tracker_about_16_mib(self):
+        # Paper reports "only 16 MiB"; exact Eq 1-2 arithmetic gives
+        # 57.6e9 / (128 x 32) superblocks x 8 bits = 13.4 MiB.
+        bits = tracker_requirements(WDC12.vertex_capacity_bytes)
+        assert 12 * MiB < bits / 8 < 17 * MiB
+
+    def test_tracker_at_least_27x_smaller_than_bitvector(self):
+        # Paper quotes 27x; exact arithmetic gives 32x (= 4 vertices per
+        # superblock-counter bit at dim 128 with 2 vertices per block).
+        ratio = bitvector_bits(WDC12.num_vertices) / tracker_requirements(
+            WDC12.vertex_capacity_bytes
+        )
+        assert 26 <= ratio <= 33
+
+    def test_counter_width(self):
+        # 8 bits per superblock at dim 128; 6 bits at dim 32.
+        assert tracker_requirements(128 * 32, superblock_dim=128) == 8
+        assert tracker_requirements(32 * 32, superblock_dim=32) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            tracker_requirements(100, superblock_dim=0)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.accelerator: r for r in terascale_requirements()}
+
+    def test_nova_row(self, rows):
+        nova = rows["NOVA"]
+        assert nova.hbm_stacks == 14  # paper: 14 stacks (56 GiB)
+        assert nova.ddr_channels == 56  # paper: 56 channels (1 TiB + headroom)
+        assert nova.cores == 112  # paper: 112 PEs
+        assert nova.slices == 1
+        assert nova.sram_bytes == pytest.approx(21 * MiB, rel=0.05)
+
+    def test_polygraph_row(self, rows):
+        pg = rows["PolyGraph"]
+        assert pg.hbm_stacks == pytest.approx(136, rel=0.05)
+        assert pg.sram_bytes == pytest.approx(4 * GiB, rel=0.1)
+        assert pg.cores == pytest.approx(2176, rel=0.05)
+        assert 13 <= pg.slices <= 17  # paper: 15
+
+    def test_polygraph_nonsliced_row(self, rows):
+        ns = rows["PolyGraph non-sliced"]
+        assert ns.sram_bytes == pytest.approx(56 * GiB, rel=0.1)
+        assert ns.hbm_stacks == 128
+        assert ns.cores == pytest.approx(6400, rel=0.05)
+        assert ns.slices == 1
+
+    def test_dalorex_row(self, rows):
+        dal = rows["Dalorex"]
+        assert dal.sram_bytes == pytest.approx(1 * TiB, rel=0.1)
+        assert dal.cores == pytest.approx(249661, rel=0.1)
+
+    def test_rows_render(self, rows):
+        for row in rows.values():
+            text = row.row()
+            assert row.accelerator in text
+
+    def test_custom_graph(self):
+        small = GraphScale("small", 1_000_000, 10_000_000)
+        rows = terascale_requirements(small)
+        assert rows[0].hbm_stacks == 1
+        assert rows[0].cores == 8

@@ -1,0 +1,26 @@
+"""Spilling-method trade-offs (Table I)."""
+
+from repro.analysis.tradeoffs import spilling_comparison
+
+
+class TestTable1:
+    def test_write_counts(self):
+        fifo, overwrite = spilling_comparison(spills=1000, distinct_vertices=100)
+        assert fifo.writes_per_spill == 2
+        assert overwrite.writes_per_spill == 1
+
+    def test_overwrite_needs_no_extra_memory(self):
+        fifo, overwrite = spilling_comparison(spills=1000, distinct_vertices=100)
+        assert overwrite.extra_offchip_bytes == 0
+        assert overwrite.metadata_bytes_per_entry == 0
+        assert fifo.extra_offchip_bytes > 0
+        assert fifo.metadata_bytes_per_entry > 0
+
+    def test_fifo_grows_with_spill_events_not_vertices(self):
+        few, _ = spilling_comparison(spills=10, distinct_vertices=10)
+        many, _ = spilling_comparison(spills=1000, distinct_vertices=10)
+        assert many.extra_offchip_bytes == 100 * few.extra_offchip_bytes
+
+    def test_rows_render(self):
+        for method in spilling_comparison(10, 5):
+            assert method.name in method.row()

@@ -1,0 +1,32 @@
+"""Dalorex resource model."""
+
+import pytest
+
+from repro.baselines.dalorex import dalorex_requirements
+from repro.errors import ConfigError
+from repro.units import MiB, TiB
+
+
+class TestRequirements:
+    def test_footprint(self):
+        req = dalorex_requirements(100, 200)
+        assert req.sram_bytes == 100 * 16 + 200 * 8
+        assert req.slices == 1
+
+    def test_core_count_rounds_up(self):
+        req = dalorex_requirements(0, 1, sram_per_core=4 * MiB)
+        assert req.cores == 1
+        req = dalorex_requirements(2**20, 2**21, sram_per_core=4 * MiB)
+        assert req.cores == -(-req.sram_bytes // (4 * MiB))
+
+    def test_wdc12_scale(self):
+        """Table IV: WDC12 needs ~1 TiB of SRAM and ~250k cores."""
+        req = dalorex_requirements(3_600_000_000, 129_000_000_000)
+        assert 0.9 * TiB < req.sram_bytes < 1.1 * TiB
+        assert 200_000 < req.cores < 300_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            dalorex_requirements(-1, 0)
+        with pytest.raises(ConfigError):
+            dalorex_requirements(1, 1, sram_per_core=0)

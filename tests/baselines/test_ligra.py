@@ -1,0 +1,63 @@
+"""Ligra software baseline: exact results, plausible cost model."""
+
+import pytest
+
+from repro.baselines.ligra import LigraConfig, LigraModel
+from repro.units import MiB
+
+
+class TestCorrectness:
+    def test_bfs_result_exact(self, rmat_graph, rmat_source):
+        from repro.workloads import get_workload
+        import numpy as np
+
+        run = LigraModel(LigraConfig(), rmat_graph).run("bfs", source=rmat_source)
+        expected, _ = get_workload("bfs").reference(rmat_graph, rmat_source)
+        assert np.array_equal(run.result, expected)
+
+    def test_all_workloads_run(self, weighted_graph, symmetric_graph,
+                               rmat_graph, rmat_source):
+        LigraModel(LigraConfig(), weighted_graph).run("sssp", source=rmat_source)
+        LigraModel(LigraConfig(), symmetric_graph).run("cc")
+        LigraModel(LigraConfig(), rmat_graph).run("pr", max_supersteps=10)
+        LigraModel(LigraConfig(), rmat_graph).run("bc", source=rmat_source)
+
+
+class TestCostModel:
+    def test_time_positive(self, rmat_graph, rmat_source):
+        run = LigraModel(LigraConfig(), rmat_graph).run("bfs", source=rmat_source)
+        assert run.elapsed_seconds > 0
+        assert run.system == "ligra"
+
+    def test_sync_cost_dominates_high_diameter(self, grid_graph, rmat_graph,
+                                               rmat_source):
+        config = LigraConfig()
+        grid = LigraModel(config, grid_graph).run("bfs", source=0)
+        dense = LigraModel(config, rmat_graph).run("bfs", source=rmat_source)
+        # The grid takes many more rounds, so its time per edge is worse.
+        grid_per_edge = grid.elapsed_seconds / max(grid.edges_traversed, 1)
+        dense_per_edge = dense.elapsed_seconds / max(dense.edges_traversed, 1)
+        assert grid_per_edge > dense_per_edge
+
+    def test_miss_probability_grows_with_graph(self, rmat_graph):
+        small_l3 = LigraModel(
+            LigraConfig(l3_bytes=1024), rmat_graph
+        )._miss_probability()
+        big_l3 = LigraModel(
+            LigraConfig(l3_bytes=64 * MiB), rmat_graph
+        )._miss_probability()
+        assert small_l3 > 0.9
+        assert big_l3 == 0.0
+
+    def test_more_bandwidth_is_faster(self, rmat_graph, rmat_source):
+        slow = LigraModel(
+            LigraConfig(memory_bandwidth=1e9, l3_bytes=1024), rmat_graph
+        ).run("bfs", source=rmat_source)
+        fast = LigraModel(
+            LigraConfig(memory_bandwidth=1e12, l3_bytes=1024), rmat_graph
+        ).run("bfs", source=rmat_source)
+        assert fast.elapsed_seconds < slow.elapsed_seconds
+
+    def test_rounds_recorded(self, rmat_graph, rmat_source):
+        run = LigraModel(LigraConfig(), rmat_graph).run("bfs", source=rmat_source)
+        assert run.stats.get("rounds") == run.quanta > 0

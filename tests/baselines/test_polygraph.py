@@ -1,0 +1,133 @@
+"""PolyGraph baseline: correctness, switching costs, breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.polygraph import (
+    PolyGraphConfig,
+    PolyGraphEngine,
+    PolyGraphSystem,
+)
+from repro.errors import SimulationError
+from repro.units import KiB
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def pg_config():
+    """Small on-chip memory: rmat_graph (1024 vertices) yields 4 slices."""
+    return PolyGraphConfig(onchip_bytes=1 * KiB)
+
+
+class TestCorrectness:
+    def test_bfs(self, pg_config, rmat_graph, rmat_source):
+        PolyGraphSystem(pg_config, rmat_graph).run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+
+    def test_sssp(self, pg_config, weighted_graph, rmat_source):
+        PolyGraphSystem(pg_config, weighted_graph).run(
+            "sssp", source=rmat_source, compute_reference=True
+        )
+
+    def test_cc(self, pg_config, symmetric_graph):
+        PolyGraphSystem(pg_config, symmetric_graph).run(
+            "cc", compute_reference=True
+        )
+
+    def test_pr(self, pg_config, rmat_graph):
+        PolyGraphSystem(pg_config, rmat_graph).run(
+            "pr", compute_reference=True, max_supersteps=40
+        )
+
+    def test_bc(self, pg_config, rmat_graph, rmat_source):
+        PolyGraphSystem(pg_config, rmat_graph).run(
+            "bc", source=rmat_source, compute_reference=True
+        )
+
+    def test_bfs_on_grid(self, pg_config, grid_graph):
+        PolyGraphSystem(pg_config, grid_graph).run(
+            "bfs", source=0, compute_reference=True
+        )
+
+    def test_explicit_slice_count(self, rmat_graph, rmat_source):
+        system = PolyGraphSystem(
+            PolyGraphConfig(onchip_bytes=1), rmat_graph, num_slices=7
+        )
+        run = system.run("bfs", source=rmat_source, compute_reference=True)
+        assert run.stats.get("slices") == 7
+
+
+class TestBreakdown:
+    def test_buckets_sum_to_elapsed(self, pg_config, rmat_graph, rmat_source):
+        run = PolyGraphSystem(pg_config, rmat_graph).run(
+            "bfs", source=rmat_source
+        )
+        assert sum(run.breakdown.values()) == pytest.approx(
+            run.elapsed_seconds
+        )
+        assert set(run.breakdown) == {"processing", "switching", "inefficiency"}
+
+    def test_single_slice_has_no_switching(self, rmat_graph, rmat_source):
+        run = PolyGraphSystem(
+            PolyGraphConfig(onchip_bytes=1 << 30), rmat_graph
+        ).run("bfs", source=rmat_source)
+        assert run.breakdown["switching"] == 0.0
+        assert run.breakdown["inefficiency"] == 0.0
+        assert run.stats.get("slice_switches") == 0
+
+    def test_more_slices_more_overhead(self, rmat_graph, rmat_source):
+        def overhead_share(num_slices):
+            run = PolyGraphSystem(
+                PolyGraphConfig(onchip_bytes=1), rmat_graph, num_slices=num_slices
+            ).run("bfs", source=rmat_source)
+            total = run.elapsed_seconds
+            return (
+                run.breakdown["switching"] + run.breakdown["inefficiency"]
+            ) / total
+
+        assert overhead_share(16) > overhead_share(2)
+
+    def test_fifo_traffic_recorded(self, pg_config, rmat_graph, rmat_source):
+        run = PolyGraphSystem(pg_config, rmat_graph).run(
+            "bfs", source=rmat_source
+        )
+        assert run.traffic["fifo_bytes"] > 0
+        assert run.traffic["edge_bytes"] >= run.edges_traversed * 8
+
+    def test_memory_utilization_bounded(self, pg_config, rmat_graph, rmat_source):
+        run = PolyGraphSystem(pg_config, rmat_graph).run(
+            "bfs", source=rmat_source
+        )
+        assert 0.0 < run.utilization["memory"] <= 1.0
+
+
+class TestEagerBehaviour:
+    def test_small_chunks_increase_redundancy(self, rmat_graph, rmat_source):
+        """Finer FIFO chunks mean more eager propagation -> more messages."""
+        def messages(chunk):
+            cfg = PolyGraphConfig(onchip_bytes=1 * KiB, fifo_chunk_messages=chunk)
+            return PolyGraphSystem(cfg, rmat_graph).run(
+                "bfs", source=rmat_source
+            ).messages_sent
+
+        assert messages(64) >= messages(1 << 20)
+
+    def test_polygraph_barely_coalesces(self, pg_config, rmat_graph, rmat_source):
+        run = PolyGraphSystem(pg_config, rmat_graph).run(
+            "bfs", source=rmat_source
+        )
+        assert run.coalescing_rate < 0.2
+
+
+class TestGuards:
+    def test_residency_quota(self, pg_config, rmat_graph, rmat_source):
+        engine = PolyGraphEngine(
+            pg_config,
+            rmat_graph,
+            get_workload("bfs"),
+            source=rmat_source,
+            max_residencies=1,
+        )
+        with pytest.raises(SimulationError):
+            engine.run()

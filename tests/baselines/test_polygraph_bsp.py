@@ -1,0 +1,67 @@
+"""PolyGraph under BSP programs and the BSP adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
+from repro.units import KiB
+from repro.workloads import BSPAdapter, get_workload
+
+
+@pytest.fixture
+def pg(rmat_graph):
+    return PolyGraphSystem(PolyGraphConfig(onchip_bytes=1 * KiB), rmat_graph)
+
+
+class TestBspOnPolyGraph:
+    def test_supersteps_recorded(self, pg):
+        run = pg.run("pr", max_supersteps=5)
+        assert run.stats.get("supersteps") == 5
+
+    def test_bfs_bsp_adapter(self, pg, rmat_graph, rmat_source):
+        run = pg.run(
+            BSPAdapter(get_workload("bfs")),
+            source=rmat_source,
+            compute_reference=True,
+        )
+        assert run.workload == "bfs-bsp"
+
+    def test_bsp_adapter_perfect_efficiency(self, pg, rmat_graph, rmat_source):
+        program = get_workload("bfs")
+        run = pg.run(BSPAdapter(program), source=rmat_source)
+        _, sequential = program.reference(rmat_graph, rmat_source)
+        assert run.edges_traversed == sequential
+
+    def test_bc_on_grid(self, grid_graph):
+        system = PolyGraphSystem(
+            PolyGraphConfig(onchip_bytes=256), grid_graph
+        )
+        system.run("bc", source=0, compute_reference=True)
+
+    def test_pr_delta_on_polygraph(self, pg, rmat_graph):
+        program = get_workload("pr-delta", threshold=1e-9)
+        run = pg.run(program)
+        expected, _ = program.reference(rmat_graph, None)
+        assert np.abs(run.result - expected).max() < 1e-6
+
+
+class TestRunResultStats:
+    def test_nova_stats_content(self, small_config, rmat_graph, rmat_source):
+        from repro.core.system import NovaSystem
+
+        run = NovaSystem(small_config, rmat_graph).run(
+            "bfs", source=rmat_source
+        )
+        assert run.stats.get("quanta") == run.quanta
+        cache = run.stats.child("cache")
+        assert cache.get("hits") + cache.get("misses") == (
+            run.messages_processed
+        )
+
+    def test_polygraph_stats_content(self, pg, rmat_source):
+        run = pg.run("bfs", source=rmat_source)
+        assert run.stats.get("slices") == 4
+        assert run.stats.get("residencies") >= run.stats.get("slice_switches")
+        assert run.stats.get("elapsed_seconds") == pytest.approx(
+            run.elapsed_seconds
+        )

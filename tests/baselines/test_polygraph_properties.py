@@ -1,0 +1,68 @@
+"""Property tests: PolyGraph's answers are slice-count invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
+from repro.graph.csr import CSRGraph
+from repro.workloads import get_workload
+
+
+@st.composite
+def graph_and_slices(draw):
+    n = draw(st.integers(4, 60))
+    m = draw(st.integers(1, 240))
+    seed = draw(st.integers(0, 500))
+    rng = np.random.default_rng(seed)
+    graph = CSRGraph.from_edges(
+        rng.integers(0, n, size=m), rng.integers(0, n, size=m), n
+    )
+    slices = draw(st.integers(1, 12))
+    chunk = draw(st.sampled_from([4, 64, 1 << 20]))
+    source = draw(st.integers(0, n - 1))
+    return graph, slices, chunk, source
+
+
+class TestSliceInvariance:
+    """Temporal partitioning is a performance mechanism: any slice count
+    and any FIFO chunking must produce the oracle's answer."""
+
+    @given(graph_and_slices())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_matches_oracle_for_any_slicing(self, case):
+        graph, slices, chunk, source = case
+        config = PolyGraphConfig(onchip_bytes=1, fifo_chunk_messages=chunk)
+        run = PolyGraphSystem(config, graph, num_slices=slices).run(
+            "bfs", source=source
+        )
+        expected, _ = get_workload("bfs").reference(graph, source)
+        assert np.array_equal(run.result, expected)
+
+    @given(graph_and_slices())
+    @settings(max_examples=20, deadline=None)
+    def test_cc_matches_oracle_for_any_slicing(self, case):
+        graph, slices, chunk, _ = case
+        sym = graph.symmetrized()
+        config = PolyGraphConfig(onchip_bytes=1, fifo_chunk_messages=chunk)
+        run = PolyGraphSystem(config, sym, num_slices=slices).run("cc")
+        expected, _ = get_workload("cc").reference(sym, None)
+        assert np.array_equal(run.result, expected)
+
+    @given(st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_time_accounting_consistent(self, slices, seed):
+        rng = np.random.default_rng(seed)
+        graph = CSRGraph.from_edges(
+            rng.integers(0, 40, size=160), rng.integers(0, 40, size=160), 40
+        )
+        run = PolyGraphSystem(
+            PolyGraphConfig(onchip_bytes=1), graph, num_slices=slices
+        ).run("bfs", source=0)
+        assert sum(run.breakdown.values()) == pytest.approx(
+            run.elapsed_seconds
+        )
+        assert run.elapsed_seconds >= 0
+        if slices == 1:
+            assert run.breakdown["switching"] == 0.0

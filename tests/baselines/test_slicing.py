@@ -1,0 +1,66 @@
+"""Temporal slicing: membership, replica counts, cross-edge fractions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.slicing import TemporalSlicing
+from repro.errors import PartitionError
+from repro.units import KiB
+
+
+class TestSliceMembership:
+    def test_contiguous_id_chunks(self, rmat_graph):
+        slicing = TemporalSlicing(rmat_graph, onchip_bytes=1, num_slices=4)
+        slices = slicing.slice_of(np.arange(rmat_graph.num_vertices))
+        # Non-decreasing: ids are chunked contiguously (Gemini-style).
+        assert (np.diff(slices) >= 0).all()
+        assert slices.max() == 3
+
+    def test_vertex_counts_balanced(self, rmat_graph):
+        slicing = TemporalSlicing(rmat_graph, onchip_bytes=1, num_slices=4)
+        counts = slicing.vertices_per_slice
+        assert counts.sum() == rmat_graph.num_vertices
+        assert counts.max() - counts.min() <= slicing.slice_size
+
+    def test_slice_count_from_capacity(self, rmat_graph):
+        # 1024 vertices x 4 B = 4 KiB of property state.
+        slicing = TemporalSlicing(rmat_graph, onchip_bytes=1 * KiB)
+        assert slicing.num_slices == 4
+
+    def test_single_slice_when_fits(self, rmat_graph):
+        slicing = TemporalSlicing(rmat_graph, onchip_bytes=1 << 30)
+        assert slicing.num_slices == 1
+
+    def test_validation(self, rmat_graph):
+        with pytest.raises(PartitionError):
+            TemporalSlicing(rmat_graph, onchip_bytes=1, num_slices=0)
+
+
+class TestReplicas:
+    def test_no_replicas_with_one_slice(self, rmat_graph):
+        slicing = TemporalSlicing(rmat_graph, onchip_bytes=1, num_slices=1)
+        assert slicing.replicas_of_slice.sum() == 0
+        assert slicing.cross_edge_fraction() == 0.0
+
+    def test_replica_definition(self, tiny_graph):
+        # Slices of 3: {0,1,2} and {3,4,5}.  Cross edges: 1->3, 2->3.
+        slicing = TemporalSlicing(tiny_graph, onchip_bytes=1, num_slices=2)
+        # Vertex 3 is the only remote destination; one distinct
+        # (source-slice, vertex) pair.
+        assert list(slicing.replicas_of_slice) == [0, 1]
+
+    def test_cross_fraction(self, tiny_graph):
+        slicing = TemporalSlicing(tiny_graph, onchip_bytes=1, num_slices=2)
+        assert slicing.cross_edge_fraction() == pytest.approx(2 / 5)
+
+    def test_more_slices_more_cross_edges(self, rmat_graph):
+        few = TemporalSlicing(rmat_graph, onchip_bytes=1, num_slices=2)
+        many = TemporalSlicing(rmat_graph, onchip_bytes=1, num_slices=16)
+        assert many.cross_edge_fraction() > few.cross_edge_fraction()
+
+    def test_replicas_bounded_by_slice_population(self, rmat_graph):
+        slicing = TemporalSlicing(rmat_graph, onchip_bytes=1, num_slices=8)
+        per_source_bound = (
+            slicing.vertices_per_slice * (slicing.num_slices - 1)
+        )
+        assert (slicing.replicas_of_slice <= per_source_bound).all()

@@ -1,0 +1,80 @@
+"""Engine ablation modes: FIFO spilling (Table I) and reduction priority."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import NovaSystem
+from repro.errors import ConfigError
+from repro.graph.generators import rmat
+from repro.sim.config import NovaConfig, scaled_config
+
+
+class TestFifoSpilling:
+    def test_mode_validated(self):
+        with pytest.raises(ConfigError):
+            NovaConfig(vmu_mode="queue")
+
+    def test_results_still_exact(self, small_config, rmat_graph, rmat_source):
+        cfg = small_config.with_updates(vmu_mode="fifo")
+        NovaSystem(cfg, rmat_graph).run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+
+    def test_sssp_still_exact(self, small_config, weighted_graph, rmat_source):
+        cfg = small_config.with_updates(vmu_mode="fifo")
+        NovaSystem(cfg, weighted_graph).run(
+            "sssp", source=rmat_source, compute_reference=True
+        )
+
+    def test_no_wasteful_reads(self, small_config, rmat_graph, rmat_source):
+        """FIFO retrieval never searches, so it never overfetches."""
+        cfg = small_config.with_updates(vmu_mode="fifo")
+        run = NovaSystem(cfg, rmat_graph).run("bfs", source=rmat_source)
+        assert run.traffic["hbm_wasteful_read_bytes"] == 0
+
+    def test_duplicate_copies_inflate_activations(self):
+        """Without coalescing, re-improved vertices spill again (Table I)."""
+        g = rmat(13, 16, seed=3)
+        src = int(np.argmax(g.out_degrees()))
+        cfg = scaled_config(num_gpns=1, scale=1 / 1024)
+        tracker = NovaSystem(cfg, g).run("bfs", source=src)
+        fifo = NovaSystem(cfg.with_updates(vmu_mode="fifo"), g).run(
+            "bfs", source=src
+        )
+        assert fifo.activations >= tracker.activations
+        # The FIFO never coalesces.
+        assert fifo.coalescing_rate == 0.0
+
+    def test_extra_write_traffic(self, small_config, rmat_graph, rmat_source):
+        """Two writes per spill show up as extra HBM write bytes."""
+        tracker = NovaSystem(small_config, rmat_graph).run(
+            "bfs", source=rmat_source
+        )
+        fifo = NovaSystem(
+            small_config.with_updates(vmu_mode="fifo"), rmat_graph
+        ).run("bfs", source=rmat_source)
+        assert (
+            fifo.traffic["hbm_write_bytes"]
+            > tracker.traffic["hbm_write_bytes"]
+        )
+
+
+class TestReductionPriority:
+    def test_results_identical_either_way(
+        self, small_config, rmat_graph, rmat_source
+    ):
+        for flag in (True, False):
+            cfg = small_config.with_updates(reduction_priority=flag)
+            NovaSystem(cfg, rmat_graph).run(
+                "bfs", source=rmat_source, compute_reference=True
+            )
+
+    def test_priority_grows_the_coalescing_window(self):
+        g = rmat(14, 16, seed=3)
+        src = int(np.argmax(g.out_degrees()))
+        cfg = scaled_config(num_gpns=1, scale=1 / 1024)
+        with_priority = NovaSystem(cfg, g).run("bfs", source=src)
+        without = NovaSystem(
+            cfg.with_updates(reduction_priority=False), g
+        ).run("bfs", source=src)
+        assert with_priority.coalescing_rate >= without.coalescing_rate

@@ -1,0 +1,134 @@
+"""NOVA engine functional correctness: every workload matches its oracle,
+across placements, GPN counts, and stressed on-chip configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import NovaSystem, verify_result
+from repro.sim.config import scaled_config
+
+
+class TestAsyncWorkloads:
+    def test_bfs_matches_oracle(self, small_config, rmat_graph, rmat_source):
+        run = NovaSystem(small_config, rmat_graph, placement="random").run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+        assert run.reference_edges > 0
+
+    def test_sssp_matches_oracle(self, small_config, weighted_graph, rmat_source):
+        NovaSystem(small_config, weighted_graph, placement="random").run(
+            "sssp", source=rmat_source, compute_reference=True
+        )
+
+    def test_cc_matches_oracle(self, small_config, symmetric_graph):
+        NovaSystem(small_config, symmetric_graph, placement="random").run(
+            "cc", compute_reference=True
+        )
+
+    def test_bfs_on_grid(self, small_config, grid_graph):
+        NovaSystem(small_config, grid_graph, placement="random").run(
+            "bfs", source=0, compute_reference=True
+        )
+
+    def test_bfs_isolated_source(self, small_config, tiny_graph):
+        run = NovaSystem(small_config, tiny_graph).run(
+            "bfs", source=5, compute_reference=True
+        )
+        assert np.isinf(run.result).sum() == 5
+
+    def test_bfs_tiny_graph_distances(self, small_config, tiny_graph):
+        run = NovaSystem(small_config, tiny_graph).run("bfs", source=0)
+        assert list(run.result[:5]) == [0, 1, 1, 2, 3]
+        assert np.isinf(run.result[5])
+
+
+class TestBspWorkloads:
+    def test_pagerank_matches_oracle(self, small_config, rmat_graph):
+        NovaSystem(small_config, rmat_graph, placement="random").run(
+            "pr", compute_reference=True, max_supersteps=30
+        )
+
+    def test_bc_matches_oracle(self, small_config, rmat_graph, rmat_source):
+        NovaSystem(small_config, rmat_graph, placement="random").run(
+            "bc", source=rmat_source, compute_reference=True
+        )
+
+    def test_bc_on_grid(self, small_config, grid_graph):
+        NovaSystem(small_config, grid_graph).run(
+            "bc", source=0, compute_reference=True
+        )
+
+    def test_pagerank_sums_to_at_most_one(self, small_config, rmat_graph):
+        run = NovaSystem(small_config, rmat_graph).run("pr", max_supersteps=20)
+        # Push PR leaks rank at dangling vertices, so the sum is <= 1.
+        assert 0.0 < run.result.sum() <= 1.0 + 1e-9
+
+
+class TestAcrossConfigurations:
+    @pytest.mark.parametrize("gpns", [1, 2, 4])
+    def test_gpn_count_does_not_change_results(self, rmat_graph, rmat_source, gpns):
+        cfg = scaled_config(num_gpns=gpns, scale=1 / 1024)
+        run = NovaSystem(cfg, rmat_graph, placement="random").run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+        assert run.elapsed_seconds > 0
+
+    @pytest.mark.parametrize(
+        "placement", ["interleave", "random", "load_balanced", "locality"]
+    )
+    def test_placement_does_not_change_results(
+        self, small_config, rmat_graph, rmat_source, placement
+    ):
+        NovaSystem(small_config, rmat_graph, placement=placement).run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+
+    def test_tiny_cache_still_correct(self, rmat_graph, rmat_source):
+        cfg = scaled_config(num_gpns=1, scale=1 / 1024).with_updates(
+            cache_bytes_per_pe=32 * 32
+        )
+        NovaSystem(cfg, rmat_graph).run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+
+    def test_tiny_active_buffer_still_correct(self, rmat_graph, rmat_source):
+        cfg = scaled_config(num_gpns=1, scale=1 / 1024).with_updates(
+            active_buffer_entries=2
+        )
+        NovaSystem(cfg, rmat_graph).run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+
+    def test_small_superblocks_still_correct(self, rmat_graph, rmat_source):
+        cfg = scaled_config(num_gpns=1, scale=1 / 1024).with_updates(
+            superblock_dim=4
+        )
+        NovaSystem(cfg, rmat_graph).run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+
+    @pytest.mark.parametrize("fabric", ["hierarchical", "p2p", "ideal"])
+    def test_fabric_does_not_change_results(
+        self, rmat_graph, rmat_source, fabric
+    ):
+        cfg = scaled_config(num_gpns=2, scale=1 / 1024).with_updates(
+            fabric_kind=fabric
+        )
+        NovaSystem(cfg, rmat_graph).run(
+            "bfs", source=rmat_source, compute_reference=True
+        )
+
+
+class TestVerifyResult:
+    def test_exact_workloads_require_equality(self):
+        with pytest.raises(AssertionError):
+            verify_result("bfs", np.array([1.0]), np.array([2.0]))
+
+    def test_float_workloads_use_tolerance(self):
+        verify_result("pr", np.array([1.0 + 1e-12]), np.array([1.0]))
+        with pytest.raises(AssertionError):
+            verify_result("pr", np.array([1.1]), np.array([1.0]))
+
+    def test_reachability_mismatch_detected(self):
+        with pytest.raises(AssertionError):
+            verify_result("sssp", np.array([np.inf]), np.array([1.0]))

@@ -1,0 +1,129 @@
+"""Engine edge cases: degenerate graphs, self-loops, tiny vertex sets,
+and a hypothesis equivalence sweep against the functional oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import NovaSystem
+from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
+from repro.graph.csr import CSRGraph
+from repro.sim.config import scaled_config
+from repro.workloads import get_workload
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex(self, small_config):
+        g = CSRGraph.from_edges(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), 1
+        )
+        run = NovaSystem(small_config, g).run("bfs", source=0)
+        assert run.result[0] == 0.0
+        assert run.edges_traversed == 0
+
+    def test_self_loops_are_harmless(self, small_config):
+        g = CSRGraph.from_edges(
+            np.array([0, 0, 1]), np.array([0, 1, 1]), 3
+        )
+        run = NovaSystem(small_config, g).run(
+            "bfs", source=0, compute_reference=True
+        )
+        assert list(run.result) == [0.0, 1.0, np.inf]
+
+    def test_two_vertex_cycle(self, small_config):
+        g = CSRGraph.from_edges(np.array([0, 1]), np.array([1, 0]), 2)
+        run = NovaSystem(small_config, g).run(
+            "bfs", source=0, compute_reference=True
+        )
+        assert list(run.result) == [0.0, 1.0]
+
+    def test_fewer_vertices_than_pes(self, small_config):
+        g = CSRGraph.from_edges(np.array([0, 1]), np.array([1, 2]), 3)
+        run = NovaSystem(small_config, g).run(
+            "bfs", source=0, compute_reference=True
+        )
+        assert run.elapsed_seconds > 0
+
+    def test_star_hub_fanout(self, small_config):
+        n = 500
+        g = CSRGraph.from_edges(
+            np.zeros(n, dtype=np.int64), np.arange(1, n + 1), n + 1
+        )
+        run = NovaSystem(small_config, g).run(
+            "bfs", source=0, compute_reference=True
+        )
+        assert run.edges_traversed == n
+
+    def test_chain_graph(self, small_config):
+        n = 64
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n), n)
+        run = NovaSystem(small_config, g).run(
+            "bfs", source=0, compute_reference=True
+        )
+        assert run.result[n - 1] == n - 1
+
+    def test_polygraph_single_vertex(self):
+        g = CSRGraph.from_edges(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), 1
+        )
+        run = PolyGraphSystem(PolyGraphConfig(onchip_bytes=1024), g).run(
+            "bfs", source=0
+        )
+        assert run.result[0] == 0.0
+
+    def test_polygraph_more_slices_than_vertices(self):
+        g = CSRGraph.from_edges(np.array([0]), np.array([1]), 2)
+        run = PolyGraphSystem(
+            PolyGraphConfig(onchip_bytes=1), g, num_slices=16
+        ).run("bfs", source=0, compute_reference=True)
+        assert run.elapsed_seconds > 0
+
+
+@st.composite
+def random_graph_and_config(draw):
+    n = draw(st.integers(3, 80))
+    m = draw(st.integers(1, 300))
+    seed = draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    graph = CSRGraph.from_edges(src, dst, n)
+    gpns = draw(st.sampled_from([1, 2]))
+    buffer_entries = draw(st.sampled_from([2, 16, 80]))
+    superblock_dim = draw(st.sampled_from([4, 32, 128]))
+    vmu_mode = draw(st.sampled_from(["tracker", "fifo"]))
+    config = scaled_config(num_gpns=gpns, scale=1 / 4096).with_updates(
+        active_buffer_entries=buffer_entries,
+        superblock_dim=superblock_dim,
+        vmu_mode=vmu_mode,
+    )
+    source = draw(st.integers(0, n - 1))
+    return graph, config, source
+
+
+class TestHypothesisEquivalence:
+    """NOVA's functional answer is schedule-independent: any random
+    combination of graph, source, and engine configuration yields the
+    sequential oracle's answer."""
+
+    @given(random_graph_and_config())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_always_matches_oracle(self, case):
+        graph, config, source = case
+        program = get_workload("bfs")
+        run = NovaSystem(config, graph, placement="random").run(
+            "bfs", source=source
+        )
+        expected, _ = program.reference(graph, source)
+        assert np.array_equal(run.result, expected)
+
+    @given(random_graph_and_config())
+    @settings(max_examples=20, deadline=None)
+    def test_cc_always_matches_oracle(self, case):
+        graph, config, _ = case
+        sym = graph.symmetrized()
+        program = get_workload("cc")
+        run = NovaSystem(config, sym, placement="random").run("cc")
+        expected, _ = program.reference(sym, None)
+        assert np.array_equal(run.result, expected)

@@ -1,0 +1,139 @@
+"""NOVA engine timing model: sanity and consistency of the accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import NovaEngine, build_fabric
+from repro.core.system import NovaSystem
+from repro.errors import ConfigError, SimulationError
+from repro.graph.csr import CSRGraph
+from repro.network.fabric import HierarchicalFabric, IdealFabric, PointToPointFabric
+from repro.sim.config import scaled_config
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def bfs_run(small_config, rmat_graph, rmat_source):
+    return NovaSystem(small_config, rmat_graph, placement="random").run(
+        "bfs", source=rmat_source
+    )
+
+
+class TestAccountingSanity:
+    def test_time_positive_and_quanta_counted(self, bfs_run):
+        assert bfs_run.elapsed_seconds > 0
+        assert bfs_run.quanta > 0
+
+    def test_utilizations_bounded(self, bfs_run):
+        for name, value in bfs_run.utilization.items():
+            assert 0.0 <= value <= 1.0, name
+
+    def test_breakdown_sums_to_elapsed(self, bfs_run):
+        assert sum(bfs_run.breakdown.values()) == pytest.approx(
+            bfs_run.elapsed_seconds
+        )
+
+    def test_messages_conserved(self, bfs_run):
+        # Every sent message is eventually processed (async drains fully).
+        assert bfs_run.messages_processed == bfs_run.messages_sent
+        assert bfs_run.edges_traversed == bfs_run.messages_sent
+
+    def test_useful_bounded_by_processed(self, bfs_run):
+        assert 0 <= bfs_run.useful_messages <= bfs_run.messages_processed
+        assert bfs_run.redundant_messages == (
+            bfs_run.messages_processed - bfs_run.useful_messages
+        )
+
+    def test_traffic_categories_present(self, bfs_run):
+        for key in (
+            "hbm_useful_read_bytes",
+            "hbm_wasteful_read_bytes",
+            "hbm_write_bytes",
+            "ddr_bytes",
+            "network_bytes",
+        ):
+            assert bfs_run.traffic[key] >= 0
+
+    def test_ddr_traffic_matches_edges(self, bfs_run):
+        # Every traversed edge streams 8 bytes from DDR (rounded to 64 B
+        # atoms per batch, so allow generous headroom).
+        assert bfs_run.traffic["ddr_bytes"] >= bfs_run.edges_traversed * 8
+
+    def test_network_bytes_match_remote_messages(
+        self, small_config, rmat_graph, rmat_source
+    ):
+        run = NovaSystem(small_config, rmat_graph, placement="random").run(
+            "bfs", source=rmat_source
+        )
+        assert run.traffic["network_bytes"] <= run.messages_sent * 8
+
+    def test_gteps_definition(self, bfs_run):
+        assert bfs_run.gteps == pytest.approx(
+            bfs_run.edges_traversed / bfs_run.elapsed_seconds / 1e9
+        )
+
+
+class TestLatencyFloor:
+    def test_grid_time_scales_with_diameter(self, small_config, grid_graph):
+        """High-diameter graphs pay at least one quantum floor per level."""
+        run = NovaSystem(small_config, grid_graph).run("bfs", source=0)
+        diameter = 30  # 16x16 grid from corner 0
+        floor = small_config.latency_floor_s
+        assert run.elapsed_seconds >= diameter * floor
+
+
+class TestScalingBehaviour:
+    def test_more_gpns_not_slower(self, rmat_graph, rmat_source):
+        times = []
+        for gpns in (1, 4):
+            cfg = scaled_config(num_gpns=gpns, scale=1 / 1024)
+            run = NovaSystem(cfg, rmat_graph, placement="random").run(
+                "bfs", source=rmat_source
+            )
+            times.append(run.elapsed_seconds)
+        assert times[1] <= times[0] * 1.1
+
+    def test_wasteful_reads_appear_on_sparse_frontiers(
+        self, small_config, grid_graph
+    ):
+        run = NovaSystem(small_config, grid_graph).run("bfs", source=0)
+        assert run.traffic["hbm_wasteful_read_bytes"] > 0
+
+    def test_high_degree_vertex_spans_quanta(self, small_config):
+        # A star: the hub's propagation exceeds one quantum's edge budget.
+        n = small_config.mgu_batch_edges_per_pe * 2
+        src = np.zeros(n, dtype=np.int64)
+        dst = np.arange(1, n + 1, dtype=np.int64)
+        star = CSRGraph.from_edges(src, dst, n + 1)
+        run = NovaSystem(small_config, star).run(
+            "bfs", source=0, compute_reference=True
+        )
+        assert run.edges_traversed == n
+
+
+class TestEngineGuards:
+    def test_quota_exceeded_raises(self, small_config, rmat_graph, rmat_source):
+        with pytest.raises(SimulationError):
+            NovaSystem(small_config, rmat_graph).run(
+                "bfs", source=rmat_source, max_quanta=2
+            )
+
+    def test_graph_too_large_for_channel_rejected(self, rmat_graph):
+        cfg = scaled_config(num_gpns=1, scale=1e-6)
+        with pytest.raises(ConfigError):
+            NovaEngine(cfg, rmat_graph, get_workload("bfs"), source=0)
+
+
+class TestFabricFactory:
+    def test_kinds(self):
+        assert isinstance(
+            build_fabric(scaled_config().with_updates(fabric_kind="ideal")),
+            IdealFabric,
+        )
+        assert isinstance(
+            build_fabric(scaled_config().with_updates(fabric_kind="p2p")),
+            PointToPointFabric,
+        )
+        assert isinstance(
+            build_fabric(scaled_config()), HierarchicalFabric
+        )

@@ -1,0 +1,90 @@
+"""Failure injection: corrupted state must be detected, not silently
+propagated."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import VertexMemoryLayout
+from repro.core.tracker import TrackerModule
+from repro.errors import SimulationError
+from repro.graph.partition import interleave_placement
+from repro.sim.config import scaled_config
+
+
+def make_tracker():
+    cfg = scaled_config(num_gpns=1, scale=1 / 1024).with_updates(
+        superblock_dim=8
+    )
+    placement = interleave_placement(1024, cfg.num_pes)
+    layout = VertexMemoryLayout(placement, cfg)
+    return TrackerModule(layout), layout
+
+
+class TestTrackerCorruptionDetected:
+    def test_counter_inflation_detected(self):
+        tracker, _ = make_tracker()
+        tracker.track(np.array([0]))
+        tracker.counters[0, 0] += 1  # inject corruption
+        with pytest.raises(SimulationError):
+            tracker.check_invariants()
+
+    def test_bitmap_corruption_detected(self):
+        tracker, _ = make_tracker()
+        tracker.track(np.array([0]))
+        tracker.block_counted[0, 5] = True  # orphan counted bit
+        with pytest.raises(SimulationError):
+            tracker.check_invariants()
+
+    def test_collect_cross_checks_counters(self):
+        tracker, _ = make_tracker()
+        tracker.track(np.array([0]))
+        tracker.counters[0, 0] = 3  # diverge counter from bitmap
+        sbs = tracker.select_superblocks(0, 1)
+        with pytest.raises(SimulationError):
+            tracker.collect(0, sbs)
+
+
+class TestEngineGuards:
+    def test_collected_inactive_block_detected(
+        self, small_config, rmat_graph, rmat_source
+    ):
+        """If the active flags and tracker fall out of sync, the VMU
+        raises instead of silently dropping vertices."""
+        from repro.core.engine import NovaEngine
+        from repro.workloads import get_workload
+
+        engine = NovaEngine(
+            small_config, rmat_graph, get_workload("bfs"), source=rmat_source
+        )
+        engine._inject_active(np.array([rmat_source]))
+        # Corrupt: clear the active flag while the tracker still counts it.
+        engine.active_now[rmat_source] = False
+        with pytest.raises(SimulationError):
+            engine._vmu_phase(rmat_graph)
+
+    def test_negative_traffic_rejected(self, small_config, rmat_graph):
+        from repro.core.engine import build_fabric
+
+        fabric = build_fabric(small_config)
+        bad = np.full((small_config.num_pes, small_config.num_pes), -1.0)
+        with pytest.raises(SimulationError):
+            fabric.service_time(bad)
+
+
+class TestQueueMisuse:
+    def test_message_queue_shape_mismatch(self):
+        from repro.core.queues import MessageQueue
+
+        q = MessageQueue()
+        with pytest.raises(SimulationError):
+            q.push(np.array([1, 2, 3]), np.array([1.0]))
+
+    def test_pending_work_bad_ranges(self):
+        from repro.core.queues import PendingWork
+
+        w = PendingWork()
+        with pytest.raises(SimulationError):
+            w.push(
+                np.array([1]), np.array([1.0]),
+                np.array([10]), np.array([2]),
+            )

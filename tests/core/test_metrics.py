@@ -1,0 +1,70 @@
+"""RunResult derived metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import RunResult
+
+
+def make_result(**overrides):
+    base = dict(
+        workload="bfs",
+        system="nova",
+        num_vertices=10,
+        num_edges=20,
+        result=np.zeros(10),
+        elapsed_seconds=1e-3,
+        quanta=5,
+        edges_traversed=2_000_000,
+        messages_sent=2_000_000,
+        messages_processed=2_000_000,
+        useful_messages=1_500_000,
+        redundant_messages=500_000,
+        coalesced_messages=400_000,
+        activations=100,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestGteps:
+    def test_value(self):
+        assert make_result().gteps == pytest.approx(2.0)
+
+    def test_zero_time(self):
+        assert make_result(elapsed_seconds=0.0).gteps == 0.0
+
+
+class TestWorkEfficiency:
+    def test_none_without_reference(self):
+        r = make_result()
+        assert r.work_efficiency is None
+        assert r.effective_gteps is None
+
+    def test_with_reference(self):
+        r = make_result(reference_edges=1_000_000)
+        assert r.work_efficiency == pytest.approx(0.5)
+        assert r.effective_gteps == pytest.approx(1.0)
+
+    def test_zero_traversal(self):
+        r = make_result(edges_traversed=0, reference_edges=10)
+        assert r.work_efficiency is None
+
+
+class TestCoalescing:
+    def test_rate_uses_generated_messages(self):
+        r = make_result()
+        assert r.coalescing_rate == pytest.approx(0.2)
+
+    def test_zero_messages(self):
+        assert make_result(messages_sent=0).coalescing_rate == 0.0
+
+
+class TestDescribe:
+    def test_contains_headline_numbers(self):
+        text = make_result(reference_edges=1_000_000).describe()
+        assert "GTEPS=2.00" in text
+        assert "workeff=0.50" in text
+
+    def test_omits_workeff_without_reference(self):
+        assert "workeff" not in make_result().describe()

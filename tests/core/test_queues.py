@@ -1,0 +1,180 @@
+"""Chunked FIFOs: message queue and pending-work semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.core.queues import MessageQueue, PendingWork
+
+
+class TestMessageQueue:
+    def test_fifo_order(self):
+        q = MessageQueue()
+        q.push(np.array([1, 2]), np.array([1.0, 2.0]))
+        q.push(np.array([3]), np.array([3.0]))
+        dest, values = q.pop(10)
+        assert list(dest) == [1, 2, 3]
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert len(q) == 0
+
+    def test_partial_pop_preserves_rest(self):
+        q = MessageQueue()
+        q.push(np.arange(5), np.arange(5.0))
+        dest, _ = q.pop(2)
+        assert list(dest) == [0, 1]
+        assert len(q) == 3
+        dest, _ = q.pop(10)
+        assert list(dest) == [2, 3, 4]
+
+    def test_pop_spanning_chunks(self):
+        q = MessageQueue()
+        q.push(np.array([0, 1]), np.zeros(2))
+        q.push(np.array([2, 3]), np.zeros(2))
+        dest, _ = q.pop(3)
+        assert list(dest) == [0, 1, 2]
+        assert len(q) == 1
+
+    def test_empty_pop(self):
+        q = MessageQueue()
+        dest, values = q.pop(5)
+        assert dest.shape == (0,)
+        assert values.shape == (0,)
+
+    def test_zero_budget(self):
+        q = MessageQueue()
+        q.push(np.array([1]), np.array([1.0]))
+        dest, _ = q.pop(0)
+        assert dest.shape == (0,)
+        assert len(q) == 1
+
+    def test_empty_push_ignored(self):
+        q = MessageQueue()
+        q.push(np.array([], dtype=np.int64), np.array([]))
+        assert len(q) == 0
+
+    def test_mismatched_push_rejected(self):
+        q = MessageQueue()
+        with pytest.raises(SimulationError):
+            q.push(np.array([1, 2]), np.array([1.0]))
+
+
+class TestPendingWork:
+    def push_simple(self, work, vertex, start, end, value=1.0):
+        work.push(
+            np.array([vertex]),
+            np.array([value]),
+            np.array([start]),
+            np.array([end]),
+        )
+
+    def test_counts(self):
+        w = PendingWork()
+        self.push_simple(w, 1, 0, 5)
+        self.push_simple(w, 2, 5, 8)
+        assert w.entries == 2
+        assert w.edges == 8
+
+    def test_pop_whole_entries(self):
+        w = PendingWork()
+        self.push_simple(w, 1, 0, 3)
+        self.push_simple(w, 2, 3, 6)
+        v, a, s, e = w.pop_edges(10)
+        assert list(v) == [1, 2]
+        assert w.entries == 0 and w.edges == 0
+
+    def test_pop_splits_large_entry(self):
+        w = PendingWork()
+        self.push_simple(w, 7, 100, 120, value=3.0)
+        v, a, s, e = w.pop_edges(8)
+        assert list(v) == [7]
+        assert (s[0], e[0]) == (100, 108)
+        assert w.edges == 12
+        v, a, s, e = w.pop_edges(100)
+        assert (s[0], e[0]) == (108, 120)
+        assert a[0] == 3.0  # snapshot value survives the split
+        assert w.edges == 0
+
+    def test_split_midway_through_chunk(self):
+        w = PendingWork()
+        w.push(
+            np.array([1, 2, 3]),
+            np.array([1.0, 2.0, 3.0]),
+            np.array([0, 10, 20]),
+            np.array([4, 14, 24]),
+        )
+        v, a, s, e = w.pop_edges(6)
+        assert list(v) == [1, 2]
+        assert list(e - s) == [4, 2]
+        v, a, s, e = w.pop_edges(100)
+        assert list(v) == [2, 3]
+        assert list(s) == [12, 20]
+
+    def test_zero_degree_entries_drain(self):
+        w = PendingWork()
+        self.push_simple(w, 1, 5, 5)
+        self.push_simple(w, 2, 5, 9)
+        v, a, s, e = w.pop_edges(4)
+        assert list(v) == [1, 2]
+        assert w.entries == 0
+
+    def test_empty_pop(self):
+        w = PendingWork()
+        v, a, s, e = w.pop_edges(10)
+        assert v.shape == (0,)
+
+    def test_invalid_ranges_rejected(self):
+        w = PendingWork()
+        with pytest.raises(SimulationError):
+            w.push(np.array([1]), np.array([1.0]), np.array([5]), np.array([3]))
+
+    def test_misaligned_columns_rejected(self):
+        w = PendingWork()
+        with pytest.raises(SimulationError):
+            w.push(np.array([1]), np.array([1.0, 2.0]), np.array([0]), np.array([1]))
+
+
+@st.composite
+def work_batches(draw):
+    num = draw(st.integers(1, 5))
+    batches = []
+    vid = 0
+    for _ in range(num):
+        n = draw(st.integers(1, 8))
+        sizes = draw(st.lists(st.integers(0, 10), min_size=n, max_size=n))
+        starts = np.cumsum([0] + sizes[:-1])
+        batches.append(
+            (
+                np.arange(vid, vid + n, dtype=np.int64),
+                np.asarray(starts, dtype=np.int64),
+                np.asarray(starts) + np.asarray(sizes),
+            )
+        )
+        vid += n
+    return batches
+
+
+class TestPendingWorkProperties:
+    @given(work_batches(), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_order(self, batches, budget):
+        w = PendingWork()
+        total_edges = 0
+        for vertices, starts, ends in batches:
+            w.push(vertices, vertices.astype(float), starts, ends)
+            total_edges += int((ends - starts).sum())
+        drained = 0
+        popped_ranges = {}
+        for _ in range(1000):
+            v, a, s, e = w.pop_edges(budget)
+            if v.shape[0] == 0 and w.entries == 0:
+                break
+            drained += int((e - s).sum())
+            for vi, si, ei in zip(v, s, e):
+                lo, hi = popped_ranges.get(int(vi), (int(si), int(si)))
+                # Ranges for one vertex come back in order, contiguously.
+                assert int(si) == hi or hi == int(si)
+                popped_ranges[int(vi)] = (lo, int(ei))
+        assert drained == total_edges
+        assert w.edges == 0 and w.entries == 0

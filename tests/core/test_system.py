@@ -1,0 +1,63 @@
+"""NovaSystem public API: placement resolution, runs, descriptions."""
+
+import pytest
+
+from repro.core.system import NovaSystem, make_placement
+from repro.errors import ConfigError
+from repro.graph.partition import random_placement
+
+
+class TestPlacementResolution:
+    def test_by_name(self, small_config, rmat_graph):
+        system = NovaSystem(small_config, rmat_graph, placement="locality")
+        assert system.placement.strategy == "locality"
+
+    def test_prebuilt_placement(self, small_config, rmat_graph):
+        placement = random_placement(
+            rmat_graph.num_vertices, small_config.num_pes, seed=5
+        )
+        system = NovaSystem(small_config, rmat_graph, placement=placement)
+        assert system.placement is placement
+
+    def test_unknown_strategy(self, small_config, rmat_graph):
+        with pytest.raises(ConfigError):
+            NovaSystem(small_config, rmat_graph, placement="hash")
+
+    def test_make_placement_all_names(self, small_config, rmat_graph):
+        for name in ("interleave", "random", "load_balanced", "locality"):
+            p = make_placement(name, rmat_graph, small_config.num_pes)
+            assert p.num_pes == small_config.num_pes
+
+
+class TestRunApi:
+    def test_workload_by_name(self, small_config, rmat_graph, rmat_source):
+        run = NovaSystem(small_config, rmat_graph).run("bfs", source=rmat_source)
+        assert run.workload == "bfs"
+        assert run.system == "nova"
+
+    def test_workload_instance(self, small_config, rmat_graph):
+        from repro.workloads import PageRank
+
+        run = NovaSystem(small_config, rmat_graph).run(
+            PageRank(max_supersteps=5)
+        )
+        assert run.workload == "pr"
+
+    def test_workload_kwargs_forwarded(self, small_config, rmat_graph):
+        run = NovaSystem(small_config, rmat_graph).run("pr", max_supersteps=3)
+        assert run.stats.get("supersteps") <= 3
+
+    def test_unknown_workload(self, small_config, rmat_graph):
+        with pytest.raises(KeyError):
+            NovaSystem(small_config, rmat_graph).run("apsp")
+
+    def test_describe_mentions_config(self, small_config, rmat_graph):
+        text = NovaSystem(small_config, rmat_graph).describe()
+        assert "GPN" in text
+        assert "placement=random" in text
+
+    def test_result_describe_renders(self, small_config, rmat_graph, rmat_source):
+        run = NovaSystem(small_config, rmat_graph).run("bfs", source=rmat_source)
+        text = run.describe()
+        assert "nova/bfs" in text
+        assert "GTEPS" in text

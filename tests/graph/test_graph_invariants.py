@@ -1,0 +1,110 @@
+"""Cross-cutting graph invariants via hypothesis: generators, reorderings,
+and placements compose without violating structural properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import power_law, rmat, road_grid, uniform_random
+from repro.graph.partition import (
+    edge_cut_fraction,
+    interleave_placement,
+    locality_placement,
+    random_placement,
+)
+from repro.graph.reorder import bfs_order, community_order, degree_order, order_to_relabeling
+
+
+class TestGeneratorInvariants:
+    @given(
+        scale=st.integers(2, 9),
+        edge_factor=st.integers(1, 8),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rmat_shape_invariants(self, scale, edge_factor, seed):
+        g = rmat(scale, edge_factor, seed=seed)
+        assert g.num_vertices == 1 << scale
+        assert g.num_edges == edge_factor << scale
+        assert g.out_degrees().sum() == g.num_edges
+
+    @given(
+        n=st.integers(1, 300),
+        m=st.integers(0, 600),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_random_invariants(self, n, m, seed):
+        g = uniform_random(n, m, seed=seed)
+        assert g.num_vertices == n
+        assert g.num_edges == m
+
+    @given(
+        w=st.integers(1, 12),
+        h=st.integers(1, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_grid_symmetry_and_size(self, w, h):
+        g = road_grid(w, h, diagonal_fraction=0.0)
+        assert g.num_vertices == w * h
+        edges = set(g.iter_edges())
+        assert all((v, u) in edges for u, v in edges)
+
+
+class TestReorderInvariants:
+    @given(
+        scale=st.integers(3, 8),
+        seed=st.integers(0, 50),
+        which=st.sampled_from(["bfs", "degree", "community"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_orders_are_permutations(self, scale, seed, which):
+        g = rmat(scale, 4, seed=seed)
+        if which == "bfs":
+            order = bfs_order(g, 0)
+        elif which == "degree":
+            order = degree_order(g)
+        else:
+            order = community_order(g, rounds=3, seed=seed)
+        assert np.array_equal(np.sort(order), np.arange(g.num_vertices))
+        # Relabeling by any permutation preserves the degree multiset.
+        relabeled = g.relabeled(order_to_relabeling(order))
+        assert sorted(relabeled.out_degrees()) == sorted(g.out_degrees())
+
+    @given(scale=st.integers(3, 8), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_relabeling_preserves_reachability_count(self, scale, seed):
+        from repro.workloads.reference import bfs_distances
+
+        g = rmat(scale, 4, seed=seed, dedup=True)
+        src = int(np.argmax(g.out_degrees()))
+        order = bfs_order(g, src)
+        new_id = order_to_relabeling(order)
+        relabeled = g.relabeled(new_id)
+        before, _ = bfs_distances(g, src)
+        after, _ = bfs_distances(relabeled, int(new_id[src]))
+        unreached = np.iinfo(np.int64).max
+        assert (before != unreached).sum() == (after != unreached).sum()
+
+
+class TestPlacementInvariants:
+    @given(
+        scale=st.integers(3, 8),
+        pes=st.sampled_from([1, 2, 8, 16]),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_edge_cut_bounds_any_placement(self, scale, pes, seed):
+        g = rmat(scale, 4, seed=seed)
+        for placement in (
+            interleave_placement(g.num_vertices, pes),
+            random_placement(g.num_vertices, pes, seed=seed),
+            locality_placement(g, pes),
+        ):
+            cut = edge_cut_fraction(g, placement)
+            assert 0.0 <= cut <= 1.0
+            if pes == 1:
+                assert cut == 0.0
+            counts = placement.vertices_per_pe()
+            assert counts.sum() == g.num_vertices

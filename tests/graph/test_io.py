@@ -1,0 +1,132 @@
+"""Graph serialization round trips and format validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import io
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat, with_uniform_weights
+
+
+@pytest.fixture
+def weighted(rmat_graph):
+    return with_uniform_weights(rmat_graph, seed=3)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, rmat_graph):
+        path = str(tmp_path / "g.npz")
+        io.save_npz(rmat_graph, path)
+        loaded = io.load_npz(path)
+        assert np.array_equal(loaded.row_ptr, rmat_graph.row_ptr)
+        assert np.array_equal(loaded.col_idx, rmat_graph.col_idx)
+        assert loaded.weights is None
+
+    def test_roundtrip_weighted(self, tmp_path, weighted):
+        path = str(tmp_path / "g.npz")
+        io.save_npz(weighted, path)
+        loaded = io.load_npz(path)
+        assert np.allclose(loaded.weights, weighted.weights)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            io.load_npz(str(tmp_path / "nope.npz"))
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            io.load_npz(path)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, tiny_graph):
+        path = str(tmp_path / "g.txt")
+        io.save_edge_list(tiny_graph, path)
+        loaded = io.load_edge_list(path, num_vertices=6)
+        assert sorted(loaded.iter_edges()) == sorted(tiny_graph.iter_edges())
+
+    def test_roundtrip_weighted(self, tmp_path, weighted):
+        path = str(tmp_path / "g.txt")
+        io.save_edge_list(weighted, path)
+        loaded = io.load_edge_list(path, num_vertices=weighted.num_vertices)
+        assert loaded.num_edges == weighted.num_edges
+        assert np.allclose(sorted(loaded.weights), sorted(weighted.weights))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        loaded = io.load_edge_list(str(path))
+        assert loaded.num_edges == 2
+        assert loaded.num_vertices == 3
+
+    def test_inferred_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 7\n")
+        assert io.load_edge_list(str(path)).num_vertices == 8
+
+    def test_rejects_bad_field_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            io.load_edge_list(str(path))
+
+    def test_rejects_inconsistent_weights(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.0\n1 2\n")
+        with pytest.raises(GraphFormatError):
+            io.load_edge_list(str(path))
+
+    def test_empty_file_without_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError):
+            io.load_edge_list(str(path))
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path, weighted):
+        # DIMACS stores integer weights; build an integer-weighted graph.
+        g = CSRGraph(
+            weighted.row_ptr, weighted.col_idx, np.floor(weighted.weights)
+        )
+        path = str(tmp_path / "g.gr")
+        io.save_dimacs(g, path)
+        loaded = io.load_dimacs(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        assert np.allclose(sorted(loaded.weights), sorted(g.weights))
+
+    def test_unweighted_defaults_to_one(self, tmp_path, tiny_graph):
+        path = str(tmp_path / "g.gr")
+        io.save_dimacs(tiny_graph, path)
+        loaded = io.load_dimacs(path)
+        assert (loaded.weights == 1.0).all()
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            io.load_dimacs(str(path))
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c comment\np sp 2 1\na 1 2 5\n")
+        loaded = io.load_dimacs(str(path))
+        assert loaded.num_edges == 1
+
+    def test_rejects_unknown_record(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\nx 1 2\n")
+        with pytest.raises(GraphFormatError):
+            io.load_dimacs(str(path))
+
+    def test_roundtrip_through_rmat(self, tmp_path):
+        g = rmat(6, 4, seed=2)
+        path = str(tmp_path / "g.gr")
+        io.save_dimacs(g, path)
+        loaded = io.load_dimacs(path)
+        assert sorted(
+            zip(loaded.edge_sources().tolist(), loaded.col_idx.tolist())
+        ) == sorted(zip(g.edge_sources().tolist(), g.col_idx.tolist()))

@@ -1,0 +1,162 @@
+"""Spatial vertex placements: validity, balance, and locality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.graph.partition import (
+    VertexPlacement,
+    edge_cut_fraction,
+    interleave_placement,
+    load_balanced_placement,
+    load_imbalance,
+    locality_placement,
+    random_placement,
+)
+
+
+def check_valid(placement: VertexPlacement) -> None:
+    """Every placement must satisfy these structural invariants."""
+    n = placement.num_vertices
+    assert placement.owner.shape == (n,)
+    assert placement.local_id.shape == (n,)
+    assert placement.owner.min() >= 0
+    assert placement.owner.max() < placement.num_pes
+    # Local ids are dense and unique within each PE.
+    for pe in range(placement.num_pes):
+        locals_ = np.sort(placement.local_id[placement.owner == pe])
+        assert np.array_equal(locals_, np.arange(locals_.shape[0]))
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        p = interleave_placement(10, 4)
+        assert list(p.owner) == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+        check_valid(p)
+
+    def test_balanced_counts(self):
+        p = interleave_placement(103, 8)
+        counts = p.vertices_per_pe()
+        assert counts.max() - counts.min() <= 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PartitionError):
+            interleave_placement(10, 0)
+
+
+class TestRandom:
+    def test_valid_and_deterministic(self):
+        a = random_placement(100, 8, seed=3)
+        b = random_placement(100, 8, seed=3)
+        check_valid(a)
+        assert np.array_equal(a.owner, b.owner)
+
+    def test_different_seeds_differ(self):
+        a = random_placement(100, 8, seed=1)
+        b = random_placement(100, 8, seed=2)
+        assert not np.array_equal(a.owner, b.owner)
+
+    def test_balanced_counts(self):
+        counts = random_placement(999, 16, seed=1).vertices_per_pe()
+        assert counts.max() - counts.min() <= 1
+
+
+class TestLoadBalanced:
+    def test_valid(self, rmat_graph):
+        p = load_balanced_placement(rmat_graph, 8)
+        check_valid(p)
+
+    def test_better_edge_balance_than_interleave(self, rmat_graph):
+        balanced = load_balanced_placement(rmat_graph, 8)
+        naive = interleave_placement(rmat_graph.num_vertices, 8)
+        assert load_imbalance(rmat_graph, balanced) <= load_imbalance(
+            rmat_graph, naive
+        ) * 1.01
+
+    def test_top_vertices_spread(self, rmat_graph):
+        p = load_balanced_placement(rmat_graph, 8)
+        top8 = np.argsort(-rmat_graph.out_degrees())[:8]
+        assert len(set(p.owner[top8])) == 8
+
+
+class TestLocality:
+    def test_valid(self, grid_graph):
+        p = locality_placement(grid_graph, 4)
+        check_valid(p)
+
+    def test_lower_edge_cut_than_random(self, grid_graph):
+        local = locality_placement(grid_graph, 4)
+        rand = random_placement(grid_graph.num_vertices, 4, seed=1)
+        assert edge_cut_fraction(grid_graph, local) < edge_cut_fraction(
+            grid_graph, rand
+        )
+
+    def test_edge_share_roughly_balanced(self, grid_graph):
+        p = locality_placement(grid_graph, 4)
+        assert load_imbalance(grid_graph, p) < 1.5
+
+
+class TestMetrics:
+    def test_edge_cut_bounds(self, rmat_graph):
+        for strategy in (
+            interleave_placement(rmat_graph.num_vertices, 4),
+            random_placement(rmat_graph.num_vertices, 4),
+        ):
+            cut = edge_cut_fraction(rmat_graph, strategy)
+            assert 0.0 <= cut <= 1.0
+
+    def test_single_pe_has_no_cut(self, rmat_graph):
+        p = interleave_placement(rmat_graph.num_vertices, 1)
+        assert edge_cut_fraction(rmat_graph, p) == 0.0
+        assert load_imbalance(rmat_graph, p) == 1.0
+
+    def test_pe_vertices_in_local_order(self, rmat_graph):
+        p = random_placement(rmat_graph.num_vertices, 4, seed=2)
+        vertices = p.pe_vertices(2)
+        assert np.array_equal(
+            p.local_id[vertices], np.arange(vertices.shape[0])
+        )
+        assert (p.owner[vertices] == 2).all()
+
+
+class TestValidation:
+    def test_rejects_out_of_range_owner(self):
+        with pytest.raises(PartitionError):
+            VertexPlacement(
+                owner=np.array([0, 5]),
+                local_id=np.array([0, 0]),
+                num_pes=2,
+                strategy="bad",
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(PartitionError):
+            VertexPlacement(
+                owner=np.array([0, 1]),
+                local_id=np.array([0]),
+                num_pes=2,
+                strategy="bad",
+            )
+
+
+class TestPropertyBased:
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        pes=st.integers(min_value=1, max_value=17),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_placement_invariants(self, n, pes, seed):
+        check_valid(random_placement(n, pes, seed=seed))
+
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        pes=st.integers(min_value=1, max_value=17),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interleave_placement_invariants(self, n, pes):
+        p = interleave_placement(n, pes)
+        check_valid(p)
+        assert p.max_local_vertices() == -(-n // pes) if n else 0

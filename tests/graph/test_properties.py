@@ -1,0 +1,78 @@
+"""Graph statistics: BFS levels, diameter estimates, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.properties import (
+    approximate_diameter,
+    bfs_levels,
+    frontier_profile,
+    summarize,
+)
+
+
+class TestBfsLevels:
+    def test_tiny_graph_levels(self, tiny_graph):
+        levels = bfs_levels(tiny_graph, 0)
+        assert list(levels) == [0, 1, 1, 2, 3, -1]
+
+    def test_matches_networkx(self, rmat_graph, rmat_source):
+        nx = pytest.importorskip("networkx")
+        g = nx.DiGraph(list(rmat_graph.iter_edges()))
+        expected = nx.single_source_shortest_path_length(g, rmat_source)
+        levels = bfs_levels(rmat_graph, rmat_source)
+        for v, d in expected.items():
+            assert levels[v] == d
+        unreached = np.flatnonzero(levels == -1)
+        assert all(int(v) not in expected for v in unreached)
+
+    def test_rejects_bad_source(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            bfs_levels(tiny_graph, -1)
+
+
+class TestDiameter:
+    def test_grid_diameter_lower_bound(self, grid_graph):
+        # A 16x16 grid has true diameter 30; sampling gives a lower bound
+        # that is still substantial.
+        est = approximate_diameter(grid_graph, samples=4, seed=1)
+        assert 15 <= est <= 30
+
+    def test_star_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        n = 10
+        src = np.zeros(n - 1, dtype=np.int64)
+        dst = np.arange(1, n, dtype=np.int64)
+        g = CSRGraph.from_edges(
+            np.concatenate([src, dst]), np.concatenate([dst, src]), n
+        )
+        assert approximate_diameter(g, samples=8, seed=1) == 2
+
+
+class TestFrontierProfile:
+    def test_levels_sum_to_reachable(self, rmat_graph, rmat_source):
+        profile = frontier_profile(rmat_graph, rmat_source)
+        levels = bfs_levels(rmat_graph, rmat_source)
+        assert profile.sum() == np.count_nonzero(levels >= 0)
+
+    def test_tiny(self, tiny_graph):
+        assert list(frontier_profile(tiny_graph, 0)) == [1, 2, 1, 1]
+
+
+class TestSummarize:
+    def test_fields(self, rmat_graph):
+        s = summarize(rmat_graph, diameter_samples=1)
+        assert s.num_vertices == rmat_graph.num_vertices
+        assert s.num_edges == rmat_graph.num_edges
+        assert s.avg_degree == pytest.approx(
+            rmat_graph.num_edges / rmat_graph.num_vertices
+        )
+        assert s.max_out_degree == rmat_graph.out_degrees().max()
+        assert 0.0 <= s.reachable_fraction <= 1.0
+        assert s.footprint_bytes == rmat_graph.footprint_bytes()
+
+    def test_row_renders(self, tiny_graph):
+        row = summarize(tiny_graph, diameter_samples=1).row()
+        assert "V=" in row and "E=" in row

@@ -1,0 +1,87 @@
+"""Vertex reordering: BFS order, degree order, community order."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.reorder import (
+    bfs_order,
+    community_order,
+    degree_order,
+    order_to_relabeling,
+)
+
+
+def is_permutation(order: np.ndarray, n: int) -> bool:
+    return np.array_equal(np.sort(order), np.arange(n))
+
+
+class TestBfsOrder:
+    def test_is_permutation(self, rmat_graph):
+        order = bfs_order(rmat_graph, 0)
+        assert is_permutation(order, rmat_graph.num_vertices)
+
+    def test_source_first(self, tiny_graph):
+        assert bfs_order(tiny_graph, 0)[0] == 0
+
+    def test_level_structure(self, tiny_graph):
+        order = list(bfs_order(tiny_graph, 0))
+        # 0, then {1,2}, then 3, then 4; isolated 5 appended.
+        assert order[0] == 0
+        assert set(order[1:3]) == {1, 2}
+        assert order[3] == 3
+        assert order[4] == 4
+        assert order[5] == 5
+
+    def test_unreached_appended(self, tiny_graph):
+        order = bfs_order(tiny_graph, 4)  # vertex 4 has no out-edges
+        assert order[0] == 4
+        assert is_permutation(order, 6)
+
+    def test_rejects_bad_source(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            bfs_order(tiny_graph, 99)
+
+
+class TestDegreeOrder:
+    def test_descending(self, rmat_graph):
+        order = degree_order(rmat_graph)
+        degrees = rmat_graph.out_degrees()[order]
+        assert (np.diff(degrees) <= 0).all()
+
+    def test_is_permutation(self, rmat_graph):
+        assert is_permutation(degree_order(rmat_graph), rmat_graph.num_vertices)
+
+
+class TestCommunityOrder:
+    def test_is_permutation(self, grid_graph):
+        order = community_order(grid_graph, rounds=5, seed=1)
+        assert is_permutation(order, grid_graph.num_vertices)
+
+    def test_groups_connected_components(self):
+        # Two disjoint cliques must end up contiguous.
+        import numpy as np
+        from repro.graph.csr import CSRGraph
+
+        src, dst = [], []
+        for block in (range(0, 4), range(4, 8)):
+            for u in block:
+                for v in block:
+                    if u != v:
+                        src.append(u)
+                        dst.append(v)
+        g = CSRGraph.from_edges(np.array(src), np.array(dst), 8)
+        order = community_order(g, rounds=10, seed=1)
+        first_half = set(order[:4].tolist())
+        assert first_half in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_rejects_bad_rounds(self, grid_graph):
+        with pytest.raises(GraphFormatError):
+            community_order(grid_graph, rounds=0)
+
+
+class TestRelabeling:
+    def test_inverse_of_order(self, rmat_graph):
+        order = degree_order(rmat_graph)
+        new_id = order_to_relabeling(order)
+        assert np.array_equal(new_id[order], np.arange(order.shape[0]))

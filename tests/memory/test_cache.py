@@ -1,0 +1,170 @@
+"""Direct-mapped cache: exact semantics against a scalar reference model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.cache import CacheArray, DirectMappedCache
+
+
+class ScalarCache:
+    """Textbook one-access-at-a-time direct-mapped write-back cache."""
+
+    def __init__(self, num_sets: int) -> None:
+        self.tags = [None] * num_sets
+        self.dirty = [False] * num_sets
+        self.num_sets = num_sets
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, block: int, write: bool) -> None:
+        s = block % self.num_sets
+        if self.tags[s] == block:
+            self.hits += 1
+        else:
+            self.misses += 1
+            if self.tags[s] is not None and self.dirty[s]:
+                self.writebacks += 1
+            self.tags[s] = block
+            self.dirty[s] = False
+        if write:
+            self.dirty[s] = True
+
+
+class TestBasics:
+    def test_construction_validation(self):
+        with pytest.raises(ConfigError):
+            DirectMappedCache(0, 32)
+        with pytest.raises(ConfigError):
+            DirectMappedCache(100, 32)  # not a multiple
+        with pytest.raises(ConfigError):
+            CacheArray(0, 1024, 32)
+
+    def test_cold_miss_then_hit(self):
+        cache = DirectMappedCache(1024, 32)  # 32 sets
+        r = cache.access(np.array([5, 5, 5]), writes=False)
+        assert (r.misses, r.hits, r.writebacks) == (1, 2, 0)
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(1024, 32)
+        # Blocks 0 and 32 share set 0.
+        r = cache.access(np.array([0, 32, 0]), writes=False)
+        assert r.misses == 3
+        assert r.writebacks == 0  # clean lines evict silently
+
+    def test_dirty_eviction_writes_back(self):
+        cache = DirectMappedCache(1024, 32)
+        r = cache.access(np.array([0, 32]), writes=np.array([True, False]))
+        assert r.writebacks == 1
+
+    def test_state_persists_across_batches(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(np.array([7]), writes=True)
+        r = cache.access(np.array([7]), writes=False)
+        assert r.hits == 1
+        # Evicting it later still writes back the dirty line.
+        r = cache.access(np.array([7 + 32]), writes=False)
+        assert r.writebacks == 1
+
+    def test_flush(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(np.array([1, 2, 3]), writes=True)
+        assert cache.flush() == 3
+        assert cache.flush() == 0
+        r = cache.access(np.array([1]), writes=False)
+        assert r.misses == 1
+
+    def test_hit_rate(self):
+        cache = DirectMappedCache(1024, 32)
+        assert cache.hit_rate() == 0.0
+        cache.access(np.array([1, 1, 1, 1]), writes=False)
+        assert cache.hit_rate() == pytest.approx(0.75)
+
+    def test_empty_batch(self):
+        cache = DirectMappedCache(1024, 32)
+        r = cache.access(np.array([], dtype=np.int64), writes=False)
+        assert r.accesses == 0
+
+    def test_resident_blocks(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(np.array([3, 40]), writes=False)
+        assert set(cache.resident_blocks.tolist()) == {3, 40}
+
+
+class TestCacheArrayIsolation:
+    def test_caches_do_not_interfere(self):
+        array = CacheArray(2, 1024, 32)
+        array.access(np.array([0]), np.array([5]), writes=False)
+        # Same block in a different cache is a fresh miss.
+        r = array.access(np.array([1]), np.array([5]), writes=False)
+        assert r.misses == 1
+
+    def test_per_cache_counts(self):
+        array = CacheArray(3, 1024, 32)
+        caches = np.array([0, 0, 2, 2, 2])
+        blocks = np.array([1, 1, 9, 9, 41])  # 9 and 41 conflict in set 9
+        r = array.access(caches, blocks, writes=True)
+        assert r.misses_per_cache.tolist() == [1, 0, 2]
+        assert r.writebacks_per_cache.tolist() == [0, 0, 1]
+        assert r.misses == 3
+        assert r.hits == 2
+
+    def test_index_validation(self):
+        array = CacheArray(2, 1024, 32)
+        with pytest.raises(ConfigError):
+            array.access(np.array([5]), np.array([1]), writes=False)
+        with pytest.raises(ConfigError):
+            array.access(np.array([0, 1]), np.array([1]), writes=False)
+
+
+@st.composite
+def access_traces(draw):
+    num_batches = draw(st.integers(1, 4))
+    batches = []
+    for _ in range(num_batches):
+        n = draw(st.integers(0, 60))
+        blocks = draw(st.lists(st.integers(0, 40), min_size=n, max_size=n))
+        writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        batches.append((blocks, writes))
+    return batches
+
+
+class TestAgainstScalarReference:
+    @given(access_traces(), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=120, deadline=None)
+    def test_batched_matches_scalar(self, batches, num_sets):
+        cache = DirectMappedCache(num_sets * 32, 32)
+        reference = ScalarCache(num_sets)
+        for blocks, writes in batches:
+            cache.access(
+                np.asarray(blocks, dtype=np.int64),
+                np.asarray(writes, dtype=bool),
+            )
+            for b, w in zip(blocks, writes):
+                reference.access(b, w)
+        assert cache.lifetime_hits == reference.hits
+        assert cache.lifetime_misses == reference.misses
+        assert cache.lifetime_writebacks == reference.writebacks
+
+    @given(access_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_multi_cache_matches_independent_scalars(self, batches):
+        array = CacheArray(3, 8 * 32, 32)
+        refs = [ScalarCache(8) for _ in range(3)]
+        rng = np.random.default_rng(7)
+        for blocks, writes in batches:
+            n = len(blocks)
+            caches = rng.integers(0, 3, size=n)
+            array.access(
+                caches,
+                np.asarray(blocks, dtype=np.int64),
+                np.asarray(writes, dtype=bool),
+            )
+            for c, b, w in zip(caches, blocks, writes):
+                refs[c].access(b, w)
+        assert array.lifetime_hits == sum(r.hits for r in refs)
+        assert array.lifetime_misses == sum(r.misses for r in refs)
+        assert array.lifetime_writebacks == sum(r.writebacks for r in refs)

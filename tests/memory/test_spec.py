@@ -1,0 +1,107 @@
+"""Memory specifications: validation, derived rates, presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.spec import (
+    MemorySpec,
+    ddr4_channel,
+    ddr4_pool,
+    hbm2_channel,
+    hbm2_stack,
+)
+from repro.units import GB, GiB
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="test",
+        atom_bytes=32,
+        capacity_bytes=1024,
+        peak_bandwidth=1e9,
+        random_efficiency=0.5,
+        sequential_efficiency=0.9,
+        latency_s=1e-7,
+    )
+    base.update(overrides)
+    return MemorySpec(**base)
+
+
+class TestValidation:
+    def test_valid(self):
+        make_spec()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("atom_bytes", 0),
+            ("capacity_bytes", -1),
+            ("peak_bandwidth", 0.0),
+            ("random_efficiency", 0.0),
+            ("random_efficiency", 1.5),
+            ("sequential_efficiency", -0.1),
+            ("latency_s", -1e-9),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ConfigError):
+            make_spec(**{field: value})
+
+
+class TestDerived:
+    def test_bandwidths(self):
+        spec = make_spec()
+        assert spec.random_bandwidth == pytest.approx(0.5e9)
+        assert spec.sequential_bandwidth == pytest.approx(0.9e9)
+
+    def test_round_up(self):
+        spec = make_spec(atom_bytes=32)
+        assert spec.round_up(1) == 32
+        assert spec.round_up(32) == 32
+        assert spec.round_up(33) == 64
+
+    def test_scaled_keeps_bandwidth(self):
+        spec = make_spec(capacity_bytes=1 << 20)
+        small = spec.scaled(1 / 16)
+        assert small.capacity_bytes == 1 << 16
+        assert small.peak_bandwidth == spec.peak_bandwidth
+
+    def test_scaled_floor_is_one_atom(self):
+        spec = make_spec(capacity_bytes=64)
+        assert spec.scaled(1e-9).capacity_bytes == spec.atom_bytes
+
+    def test_scaled_validation(self):
+        with pytest.raises(ConfigError):
+            make_spec().scaled(0)
+
+
+class TestPresets:
+    def test_hbm2_channel(self):
+        spec = hbm2_channel()
+        assert spec.atom_bytes == 32
+        assert spec.peak_bandwidth == 32 * GB
+        assert spec.duplex is True
+
+    def test_hbm2_stack_table2(self):
+        spec = hbm2_stack()
+        assert spec.capacity_bytes == 4 * GiB
+        assert spec.peak_bandwidth == 256 * GB
+
+    def test_ddr4_channel(self):
+        spec = ddr4_channel()
+        assert spec.atom_bytes == 64
+        assert spec.peak_bandwidth == pytest.approx(19.2 * GB)
+        assert spec.duplex is False
+
+    def test_ddr4_pool_table2(self):
+        spec = ddr4_pool()
+        assert spec.capacity_bytes == 128 * GiB
+        assert spec.peak_bandwidth == pytest.approx(76.8 * GB)
+
+    def test_ddr4_pool_validation(self):
+        with pytest.raises(ConfigError):
+            ddr4_pool(channels=0)
+
+    def test_random_beats_sequential_tradeoff(self):
+        # HBM2 tolerates random access far better than DDR4.
+        assert hbm2_channel().random_efficiency > ddr4_channel().random_efficiency

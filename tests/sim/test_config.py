@@ -1,0 +1,128 @@
+"""System configuration: Table II defaults, Eq 1-2, scaling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import NovaConfig, paper_config, scaled_config
+from repro.units import GB, GiB, KiB, MiB
+
+
+class TestTable2Defaults:
+    def test_paper_values(self):
+        cfg = paper_config()
+        assert cfg.pes_per_gpn == 8
+        assert cfg.frequency_hz == 2e9
+        assert cfg.cache_bytes_per_pe == 64 * KiB
+        assert cfg.reduce_fus_per_gpn == 16
+        assert cfg.propagate_fus_per_gpn == 48
+        assert cfg.vertex_channel.capacity_bytes == GiB // 2  # 4 GiB / 8 PEs
+        assert cfg.edge_pool.capacity_bytes == 128 * GiB
+        assert cfg.edge_pool.peak_bandwidth == pytest.approx(76.8 * GB)
+        assert cfg.link_bandwidth == pytest.approx(1.2 * GB)
+        assert cfg.port_bandwidth == pytest.approx(60 * GB)
+        assert cfg.active_buffer_entries == 80
+        assert cfg.superblock_dim == 128
+        assert cfg.block_bytes == 32
+        assert cfg.vertex_bytes == 16
+
+    def test_gpn_spad_is_about_half_mib_cache(self):
+        cfg = paper_config()
+        assert cfg.cache_bytes_per_pe * cfg.pes_per_gpn == 512 * KiB
+
+    def test_derived_counts(self):
+        cfg = paper_config(num_gpns=4)
+        assert cfg.num_pes == 32
+        assert cfg.vertices_per_block == 2
+        assert cfg.superblock_vertices == 256
+
+    def test_fu_rates(self):
+        cfg = paper_config()
+        assert cfg.reduce_rate_per_pe == pytest.approx(2 * 2e9)
+        assert cfg.propagate_rate_per_pe == pytest.approx(6 * 2e9)
+
+
+class TestTrackerEquations:
+    def test_counter_bits(self):
+        # log2(128) + 1 = 8 bits per superblock.
+        cfg = paper_config()
+        superblocks = cfg.tracker_num_superblocks()
+        assert cfg.tracker_capacity_bits() == 8 * superblocks
+
+    def test_eq2_superblock_count(self):
+        cfg = paper_config()
+        capacity = cfg.vertex_channel.capacity_bytes
+        assert cfg.tracker_num_superblocks() == -(
+            -capacity // (128 * 32)
+        )
+
+    def test_explicit_capacity(self):
+        cfg = paper_config()
+        assert cfg.tracker_num_superblocks(128 * 32 * 10) == 10
+
+    def test_onchip_budget_close_to_paper(self):
+        # Paper: 512 KiB cache + 1 MiB tracker = 1.5 MiB per GPN.
+        cfg = paper_config()
+        onchip = cfg.onchip_bytes_per_gpn()
+        assert 1.2 * MiB < onchip < 1.8 * MiB
+
+
+class TestValidation:
+    def test_bad_gpns(self):
+        with pytest.raises(ConfigError):
+            NovaConfig(num_gpns=0)
+
+    def test_block_must_hold_whole_vertices(self):
+        with pytest.raises(ConfigError):
+            NovaConfig(block_bytes=24)
+
+    def test_cache_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            NovaConfig(cache_bytes_per_pe=1000)
+
+    def test_fabric_kind_checked(self):
+        with pytest.raises(ConfigError):
+            NovaConfig(fabric_kind="torus")
+
+    def test_positive_buffer(self):
+        with pytest.raises(ConfigError):
+            NovaConfig(active_buffer_entries=0)
+
+
+class TestScaledConfig:
+    def test_capacities_shrink_bandwidth_stays(self):
+        full = paper_config()
+        small = scaled_config(scale=1 / 64)
+        assert small.cache_bytes_per_pe == KiB
+        assert small.vertex_channel.capacity_bytes == pytest.approx(
+            full.vertex_channel.capacity_bytes / 64
+        )
+        assert small.vertex_channel.peak_bandwidth == full.vertex_channel.peak_bandwidth
+        assert small.edge_pool.peak_bandwidth == full.edge_pool.peak_bandwidth
+
+    def test_cache_floor(self):
+        small = scaled_config(scale=1e-9)
+        assert small.cache_bytes_per_pe == 32 * small.cache_line_bytes
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigError):
+            scaled_config(scale=0)
+        with pytest.raises(ConfigError):
+            scaled_config(scale=1.5)
+
+    def test_with_updates(self):
+        cfg = paper_config().with_updates(num_gpns=3)
+        assert cfg.num_gpns == 3
+        assert cfg.pes_per_gpn == 8
+
+
+class TestBatchKnobs:
+    def test_batches_scale_with_overlap(self):
+        a = paper_config().with_updates(quantum_overlap=4.0)
+        b = paper_config().with_updates(quantum_overlap=8.0)
+        assert b.mpu_batch_per_pe == 2 * a.mpu_batch_per_pe
+        assert b.mgu_batch_edges_per_pe == 2 * a.mgu_batch_edges_per_pe
+
+    def test_vmu_supply_rate_grows_with_buffer(self):
+        a = paper_config().with_updates(active_buffer_entries=40)
+        b = paper_config().with_updates(active_buffer_entries=80)
+        assert b.vmu_supply_rate_per_pe == 2 * a.vmu_supply_rate_per_pe

@@ -1,0 +1,75 @@
+"""Quantum-engine primitives: resource pools and the clock."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.engine import QuantumClock, ResourcePool
+
+
+class TestResourcePool:
+    def test_service_time(self):
+        pool = ResourcePool("fu", 1e9)
+        pool.charge(500)
+        assert pool.quantum_service_time() == pytest.approx(500e-9)
+
+    def test_end_quantum_resets(self):
+        pool = ResourcePool("fu", 1e9)
+        pool.charge(100)
+        pool.end_quantum(1e-6)
+        assert pool.quantum_service_time() == 0.0
+        assert pool.total_ops == 100
+        assert pool.busy_seconds == pytest.approx(100e-9)
+
+    def test_undersized_quantum_rejected(self):
+        pool = ResourcePool("fu", 1e9)
+        pool.charge(10_000)
+        with pytest.raises(SimulationError):
+            pool.end_quantum(1e-9)
+
+    def test_negative_charge_rejected(self):
+        pool = ResourcePool("fu", 1e9)
+        with pytest.raises(SimulationError):
+            pool.charge(-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            ResourcePool("fu", 0)
+
+    def test_utilization(self):
+        pool = ResourcePool("fu", 1e9)
+        pool.charge(500)
+        pool.end_quantum(1e-6)
+        assert pool.utilization(1e-6) == pytest.approx(0.5)
+        assert pool.utilization(0) == 0.0
+
+
+class TestQuantumClock:
+    def test_latency_floor_applies(self):
+        clock = QuantumClock(2e9, latency_floor_s=1e-7)
+        duration = clock.advance(1e-9)
+        assert duration == pytest.approx(1e-7)
+        assert clock.elapsed_seconds == pytest.approx(1e-7)
+
+    def test_long_quantum_passes_through(self):
+        clock = QuantumClock(2e9, latency_floor_s=1e-7)
+        assert clock.advance(5e-6) == pytest.approx(5e-6)
+
+    def test_cycles(self):
+        clock = QuantumClock(2e9, latency_floor_s=0.0)
+        clock.advance(1e-6)
+        assert clock.elapsed_cycles == pytest.approx(2000)
+
+    def test_quantum_count(self):
+        clock = QuantumClock(1e9, latency_floor_s=0.0)
+        for _ in range(5):
+            clock.advance(1e-9)
+        assert clock.quanta == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            QuantumClock(0, 1e-7)
+        with pytest.raises(ConfigError):
+            QuantumClock(1e9, -1.0)
+        clock = QuantumClock(1e9, 0.0)
+        with pytest.raises(SimulationError):
+            clock.advance(-1e-9)

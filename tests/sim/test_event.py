@@ -1,0 +1,107 @@
+"""Discrete-event kernel: ordering, cancellation, bounded runs."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event import EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3e-9, lambda: log.append("c"))
+        q.schedule(1e-9, lambda: log.append("a"))
+        q.schedule(2e-9, lambda: log.append("b"))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        log = []
+        for name in "abc":
+            q.schedule(1e-9, lambda n=name: log.append(n))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.schedule(5e-9, lambda: None)
+        q.run()
+        assert q.now == pytest.approx(5e-9)
+
+    def test_schedule_during_execution(self):
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append(1)
+            q.schedule(1e-9, lambda: log.append(2))
+
+        q.schedule(0.0, first)
+        q.run()
+        assert log == [1, 2]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        log = []
+        event = q.schedule(1e-9, lambda: log.append("x"))
+        event.cancel()
+        q.run()
+        assert log == []
+        assert q.executed == 0
+
+    def test_empty_accounts_for_cancelled(self):
+        q = EventQueue()
+        event = q.schedule(1e-9, lambda: None)
+        assert not q.empty()
+        event.cancel()
+        assert q.empty()
+
+
+class TestBoundedRuns:
+    def test_run_until(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1e-9, lambda: log.append(1))
+        q.schedule(5e-9, lambda: log.append(2))
+        executed = q.run(until=2e-9)
+        assert executed == 1
+        assert log == [1]
+        assert q.now == pytest.approx(2e-9)
+        q.run()
+        assert log == [1, 2]
+
+    def test_max_events(self):
+        q = EventQueue()
+        for _ in range(10):
+            q.schedule(1e-9, lambda: None)
+        assert q.run(max_events=3) == 3
+
+    def test_step_returns_event(self):
+        q = EventQueue()
+        q.schedule(1e-9, lambda: None)
+        event = q.step()
+        assert event is not None
+        assert q.step() is None
+
+
+class TestValidation:
+    def test_no_past_scheduling(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1e-9, lambda: None)
+        q.schedule(5e-9, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_at(1e-9, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        q = EventQueue()
+        log = []
+        q.schedule_at(7e-9, lambda: log.append("x"))
+        q.run()
+        assert q.now == pytest.approx(7e-9)
+        assert log == ["x"]

@@ -1,0 +1,104 @@
+"""The micro-model validates the quantum engine's throughput abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.micro import MicroPE, MicroPEConfig
+
+
+class TestAnalyticBounds:
+    def test_fu_rate(self):
+        config = MicroPEConfig(fu_count=2, frequency_hz=2e9)
+        assert config.fu_rate == pytest.approx(4e9)
+
+    def test_analytic_throughput_regimes(self):
+        config = MicroPEConfig()
+        # All hits: the FU pool is the bound.
+        assert config.analytic_throughput(0.0) == config.fu_rate
+        # All misses: the HBM channel is the bound (0.8 G msgs/s/PE).
+        bw_bound = config.hbm_bandwidth / config.access_bytes
+        assert config.analytic_throughput(1.0) == pytest.approx(bw_bound)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MicroPEConfig(fu_count=0)
+        with pytest.raises(ConfigError):
+            MicroPEConfig(hbm_bandwidth=0)
+
+
+class TestMicroMatchesQuantumModel:
+    """The headline check: per-message DES throughput lands within 10%
+    of the fluid model's bound in both regimes."""
+
+    def test_bandwidth_bound_regime(self):
+        config = MicroPEConfig()
+        pe = MicroPE(config)
+        # Random destinations across far more blocks than cache lines:
+        # essentially every access misses.
+        stats = pe.run_random_stream(20_000, num_blocks=1_000_000, seed=3)
+        expected = config.analytic_throughput(
+            stats.cache_misses / stats.messages
+        )
+        assert stats.throughput == pytest.approx(expected, rel=0.10)
+
+    def test_compute_bound_regime(self):
+        config = MicroPEConfig()
+        pe = MicroPE(config)
+        # One hot block: after the cold miss everything hits, so the FU
+        # pool sets the pace.
+        stats = pe.run_stream(np.zeros(20_000, dtype=np.int64))
+        assert stats.cache_misses == 1
+        assert stats.throughput == pytest.approx(config.fu_rate, rel=0.10)
+
+    def test_intermediate_miss_rate(self):
+        config = MicroPEConfig()
+        pe = MicroPE(config)
+        # Working set ~4x the cache: partial hit rate.
+        num_blocks = 4 * config.cache_bytes // config.cache_line_bytes
+        stats = pe.run_random_stream(40_000, num_blocks=num_blocks, seed=5)
+        assert 0.0 < stats.cache_hits / stats.messages < 0.5
+        expected = config.analytic_throughput(
+            stats.cache_misses / stats.messages
+        )
+        assert stats.throughput == pytest.approx(expected, rel=0.10)
+
+
+class TestLatencyBehaviour:
+    def test_unloaded_latency_floor(self):
+        config = MicroPEConfig()
+        pe = MicroPE(config)
+        # One message: latency = HBM occupancy + latency + FU service.
+        stats = pe.run_stream(np.array([7]))
+        floor = (
+            config.hbm_occupancy_s + config.hbm_latency_s + config.fu_service_s
+        )
+        assert stats.latencies[0] == pytest.approx(floor)
+
+    def test_saturation_grows_queueing_delay(self):
+        config = MicroPEConfig()
+        pe = MicroPE(config)
+        stats = pe.run_random_stream(5_000, num_blocks=1_000_000, seed=2)
+        # Back-to-back arrivals: the tail waits behind thousands of
+        # channel transfers (orders of magnitude beyond the raw latency).
+        assert stats.latency_percentile(99) > 20 * config.hbm_latency_s
+
+    def test_paced_arrivals_keep_latency_flat(self):
+        config = MicroPEConfig()
+        pe = MicroPE(config)
+        # Arrivals slower than the bandwidth bound: no queue forms.
+        interval = 2.0 * config.hbm_occupancy_s
+        stats = pe.run_random_stream(
+            2_000, num_blocks=1_000_000, seed=2, arrival_interval_s=interval
+        )
+        floor = (
+            config.hbm_occupancy_s + config.hbm_latency_s + config.fu_service_s
+        )
+        assert stats.latency_percentile(99) < 3 * floor
+
+    def test_empty_stream(self):
+        pe = MicroPE(MicroPEConfig())
+        stats = pe.run_stream(np.array([], dtype=np.int64))
+        assert stats.messages == 0
+        assert stats.throughput == 0.0
+        assert stats.latency_percentile(99) == 0.0

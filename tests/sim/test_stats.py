@@ -1,0 +1,73 @@
+"""Hierarchical statistics registry."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import StatGroup
+
+
+class TestScalars:
+    def test_add_creates_and_increments(self):
+        g = StatGroup()
+        g.add("x")
+        g.add("x", 4)
+        assert g.get("x") == 5
+
+    def test_set_overwrites(self):
+        g = StatGroup()
+        g.set("x", 10)
+        g.set("x", 3)
+        assert g.get("x") == 3
+
+    def test_get_default(self):
+        assert StatGroup().get("missing", -1) == -1
+
+    def test_contains(self):
+        g = StatGroup()
+        g.add("x")
+        g.child("sub")
+        assert "x" in g and "sub" in g and "y" not in g
+
+
+class TestNesting:
+    def test_child_reused(self):
+        g = StatGroup()
+        assert g.child("a") is g.child("a")
+
+    def test_scalar_group_collisions_rejected(self):
+        g = StatGroup()
+        g.add("x")
+        with pytest.raises(SimulationError):
+            g.child("x")
+        g.child("sub")
+        with pytest.raises(SimulationError):
+            g.add("sub")
+        with pytest.raises(SimulationError):
+            g.set("sub", 1)
+
+    def test_to_dict(self):
+        g = StatGroup()
+        g.set("x", 1)
+        g.child("sub").set("y", 2)
+        assert g.to_dict() == {"x": 1, "sub": {"y": 2}}
+
+    def test_flat(self):
+        g = StatGroup()
+        g.set("x", 1)
+        g.child("a").child("b").set("y", 2)
+        assert g.flat() == {"x": 1, "a.b.y": 2}
+
+
+class TestRender:
+    def test_render_contains_values(self):
+        g = StatGroup()
+        g.set("edges", 42)
+        g.child("pe0").set("msgs", 7)
+        text = g.render()
+        assert "edges" in text and "42" in text
+        assert "pe0:" in text and "msgs" in text
+
+    def test_render_floats(self):
+        g = StatGroup()
+        g.set("time", 1.5e-6)
+        assert "1.5e-06" in g.render()

@@ -1,0 +1,115 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_graph, main, parse_size
+from repro.errors import ReproError
+from repro.graph import io as graph_io
+from repro.graph.generators import rmat
+from repro.units import KiB, MiB
+
+
+class TestParseSize:
+    def test_units(self):
+        assert parse_size("64KiB") == 64 * KiB
+        assert parse_size("1.5MiB") == int(1.5 * MiB)
+        assert parse_size("4096") == 4096
+        assert parse_size("2b") == 2
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+
+class TestGraphSpecs:
+    def test_rmat(self):
+        g = build_graph("rmat:8:4", seed=1)
+        assert g.num_vertices == 256
+        assert g.num_edges == 1024
+
+    def test_urand(self):
+        g = build_graph("urand:100:500", seed=1)
+        assert (g.num_vertices, g.num_edges) == (100, 500)
+
+    def test_powerlaw(self):
+        g = build_graph("powerlaw:200:8", seed=1)
+        assert g.num_vertices == 200
+
+    def test_road(self):
+        g = build_graph("road:5:4", seed=1)
+        assert g.num_vertices == 20
+
+    def test_suite(self):
+        g = build_graph("suite:road")
+        assert g.num_vertices > 1000
+
+    def test_file_roundtrip(self, tmp_path):
+        g = rmat(6, 4, seed=2)
+        path = str(tmp_path / "g.npz")
+        graph_io.save_npz(g, path)
+        loaded = build_graph(path)
+        assert loaded.num_edges == g.num_edges
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            build_graph("torus:3:3")
+        with pytest.raises(ReproError):
+            build_graph("mystery")
+
+
+class TestCommands:
+    def test_run_nova(self, capsys):
+        assert main(["run", "--graph", "rmat:10:8", "--workload", "bfs",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "nova/bfs" in out
+        assert "verified" in out
+
+    def test_run_polygraph(self, capsys):
+        assert main(["run", "--system", "polygraph", "--graph", "rmat:10:8",
+                     "--onchip", "2KiB"]) == 0
+        assert "polygraph/bfs" in capsys.readouterr().out
+
+    def test_run_ligra(self, capsys):
+        assert main(["run", "--system", "ligra", "--graph", "rmat:10:8"]) == 0
+        assert "ligra/bfs" in capsys.readouterr().out
+
+    def test_run_sssp_auto_weights(self, capsys):
+        assert main(["run", "--graph", "rmat:10:8", "--workload", "sssp",
+                     "--verify"]) == 0
+
+    def test_run_cc_auto_symmetrize(self, capsys):
+        assert main(["run", "--graph", "rmat:10:8", "--workload", "cc",
+                     "--verify"]) == 0
+
+    def test_run_fifo_mode(self, capsys):
+        assert main(["run", "--graph", "rmat:10:8", "--vmu-mode", "fifo",
+                     "--verify"]) == 0
+
+    def test_generate(self, tmp_path, capsys):
+        out = str(tmp_path / "g.npz")
+        assert main(["generate", "--kind", "rmat:8:4", "--out", out]) == 0
+        g = graph_io.load_npz(out)
+        assert g.num_vertices == 256
+
+    def test_generate_weighted_edgelist(self, tmp_path):
+        out = str(tmp_path / "g.txt")
+        assert main(["generate", "--kind", "road:4:4", "--out", out,
+                     "--weights"]) == 0
+        g = graph_io.load_edge_list(out)
+        assert g.has_weights
+
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1.50 MiB" in out  # the paper's on-chip budget per GPN
+
+    def test_resources(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "NOVA" in out and "Dalorex" in out
+
+    def test_error_path(self, capsys):
+        assert main(["run", "--graph", "nope:1"]) == 1
+        assert "error:" in capsys.readouterr().err

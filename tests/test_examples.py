@@ -1,0 +1,46 @@
+"""The example scripts stay importable and the quickstart runs end-to-end."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "road_network_sssp",
+        "accelerator_comparison",
+        "scaling_study",
+        "terascale_planning",
+    ],
+)
+def test_example_importable_with_main(name):
+    module = load_module(name)
+    assert callable(getattr(module, "main", None) or getattr(
+        module, "part1_resource_planning", None
+    ))
+
+
+def test_quickstart_executes():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "GTEPS" in result.stdout
+    assert "vertices reached" in result.stdout

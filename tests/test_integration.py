@@ -1,0 +1,131 @@
+"""Cross-system integration: all three systems agree on answers, and the
+paper's qualitative claims hold at test scale."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LigraConfig,
+    LigraModel,
+    NovaSystem,
+    PolyGraphConfig,
+    PolyGraphSystem,
+    scaled_config,
+)
+from repro.graph.generators import rmat, uniform_random, with_uniform_weights
+from repro.units import KiB
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(11, 8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def source(graph):
+    return int(np.argmax(graph.out_degrees()))
+
+
+@pytest.fixture(scope="module")
+def systems(graph):
+    return {
+        "nova": NovaSystem(
+            scaled_config(num_gpns=1, scale=1 / 1024), graph, placement="random"
+        ),
+        "polygraph": PolyGraphSystem(PolyGraphConfig(onchip_bytes=2 * KiB), graph),
+        "ligra": LigraModel(LigraConfig(), graph),
+    }
+
+
+class TestCrossSystemAgreement:
+    def test_bfs_identical_across_systems(self, systems, source):
+        results = {
+            name: system.run("bfs", source=source).result
+            for name, system in systems.items()
+        }
+        assert np.array_equal(results["nova"], results["polygraph"])
+        assert np.array_equal(results["nova"], results["ligra"])
+
+    def test_pr_identical_up_to_float_order(self, systems):
+        results = {
+            name: system.run("pr", max_supersteps=10).result
+            for name, system in systems.items()
+        }
+        assert np.allclose(results["nova"], results["polygraph"], atol=1e-9)
+        assert np.allclose(results["nova"], results["ligra"], atol=1e-9)
+
+    def test_bc_identical(self, systems, source):
+        results = {
+            name: system.run("bc", source=source).result
+            for name, system in systems.items()
+        }
+        assert np.allclose(results["nova"], results["polygraph"], atol=1e-9)
+
+    def test_sssp_identical(self, source):
+        g = with_uniform_weights(rmat(10, 8, seed=4), seed=2)
+        src = int(np.argmax(g.out_degrees()))
+        nova = NovaSystem(
+            scaled_config(num_gpns=1, scale=1 / 1024), g, placement="random"
+        ).run("sssp", source=src)
+        pg = PolyGraphSystem(PolyGraphConfig(onchip_bytes=2 * KiB), g).run(
+            "sssp", source=src
+        )
+        assert np.allclose(nova.result, pg.result)
+
+
+class TestPaperClaims:
+    """Qualitative shape checks at test scale (quantitative: benchmarks/)."""
+
+    def test_nova_coalesces_more_than_polygraph(self):
+        # Needs enough messages in flight for windows to open; the module
+        # fixture graph is too small to backlog any PE.
+        g = rmat(14, 16, seed=3)
+        src = int(np.argmax(g.out_degrees()))
+        nova = NovaSystem(
+            scaled_config(num_gpns=1, scale=1 / 1024), g, placement="random"
+        ).run("bfs", source=src)
+        pg = PolyGraphSystem(PolyGraphConfig(onchip_bytes=8 * KiB), g).run(
+            "bfs", source=src
+        )
+        assert nova.coalescing_rate > pg.coalescing_rate
+        assert nova.coalescing_rate > 0.05
+
+    def test_nova_uses_fraction_of_polygraph_onchip(self, systems):
+        nova_onchip = systems["nova"].config.onchip_bytes_per_gpn()
+        pg_onchip = systems["polygraph"].config.onchip_bytes
+        # At matched scale NOVA's budget is a fraction of PolyGraph's...
+        # here both are tiny; the paper ratio (1.5/32 MiB) is asserted on
+        # the unscaled configs.
+        from repro import paper_config
+        from repro.units import MiB
+
+        assert paper_config().onchip_bytes_per_gpn() < 2 * MiB
+        assert PolyGraphConfig().onchip_bytes == 32 * MiB
+
+    def test_polygraph_overhead_grows_with_slices(self, graph, source):
+        shares = []
+        for slices in (2, 12):
+            run = PolyGraphSystem(
+                PolyGraphConfig(onchip_bytes=1), graph, num_slices=slices
+            ).run("bfs", source=source)
+            overhead = run.breakdown["switching"] + run.breakdown["inefficiency"]
+            shares.append(overhead / run.elapsed_seconds)
+        assert shares[1] > shares[0]
+
+    def test_nova_throughput_stable_across_graph_sizes(self):
+        """The motivation claim: NOVA GTEPS is ~flat as graphs grow."""
+        gteps = []
+        for scale in (12, 13):
+            g = uniform_random(1 << scale, 16 << scale, seed=2)
+            src = int(np.argmax(g.out_degrees()))
+            run = NovaSystem(
+                scaled_config(num_gpns=1, scale=1 / 256), g, placement="random"
+            ).run("bfs", source=src)
+            gteps.append(run.gteps)
+        ratio = gteps[1] / gteps[0]
+        assert 0.6 < ratio < 1.7
+
+    def test_accelerators_beat_software_model(self, systems, source):
+        nova = systems["nova"].run("bfs", source=source)
+        ligra = systems["ligra"].run("bfs", source=source)
+        assert nova.gteps > ligra.gteps

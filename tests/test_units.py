@@ -1,0 +1,70 @@
+"""Unit helpers and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    bytes_to_human,
+    rate_to_human,
+    seconds_to_human,
+)
+
+
+class TestBytes:
+    def test_binary_units(self):
+        assert KiB == 1024
+        assert MiB == 1024 ** 2
+        assert GiB == 1024 ** 3
+
+    def test_rendering(self):
+        assert bytes_to_human(512) == "512 B"
+        assert bytes_to_human(1536) == "1.50 KiB"
+        assert bytes_to_human(4 * GiB) == "4.00 GiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_human(-1)
+
+
+class TestRates:
+    def test_decimal_units(self):
+        assert rate_to_human(256e9) == "256.00 GB/s"
+        assert rate_to_human(1.2 * GB) == "1.20 GB/s"
+        assert rate_to_human(500) == "500 B/s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rate_to_human(-1)
+
+
+class TestDurations:
+    def test_prefixes(self):
+        assert seconds_to_human(2.5) == "2.500 s"
+        assert seconds_to_human(2.5e-3) == "2.500 ms"
+        assert seconds_to_human(2.5e-6) == "2.500 us"
+        assert seconds_to_human(2.5e-9) == "2.500 ns"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_human(-1)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            errors.GraphFormatError,
+            errors.ConfigError,
+            errors.PartitionError,
+            errors.SimulationError,
+            errors.WorkloadError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConfigError("bad config")

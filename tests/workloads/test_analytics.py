@@ -1,0 +1,107 @@
+"""PageRank and betweenness centrality semantics, against oracles and
+networkx."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators import rmat, uniform_random
+from repro.workloads import BetweennessCentrality, PageRank, get_workload
+from repro.workloads.driver import run_functional
+
+
+class TestPageRank:
+    def test_matches_reference(self, rmat_graph):
+        program = PageRank(max_supersteps=60)
+        run = run_functional(program, rmat_graph, None)
+        expected, _ = program.reference(rmat_graph, None)
+        assert np.allclose(run.result, expected, atol=1e-9)
+
+    def test_matches_networkx_on_dangling_free_graph(self):
+        nx = pytest.importorskip("networkx")
+        # Build a graph where every vertex has out-degree >= 1 so the
+        # push formulation agrees with networkx's dangling handling.
+        g = uniform_random(64, 1024, seed=6, dedup=True)
+        missing = np.flatnonzero(g.out_degrees() == 0)
+        if missing.size:
+            import numpy as _np
+            from repro.graph.csr import CSRGraph
+
+            src = _np.concatenate([g.edge_sources(), missing])
+            dst = _np.concatenate([g.col_idx, (missing + 1) % 64])
+            g = CSRGraph.from_edges(src, dst, 64, dedup=True)
+        program = PageRank(tolerance=1e-12, max_supersteps=200)
+        run = run_functional(program, g, None)
+        ng = nx.DiGraph(list(g.iter_edges()))
+        ng.add_nodes_from(range(g.num_vertices))
+        expected = nx.pagerank(ng, alpha=0.85, tol=1e-14, max_iter=500)
+        for v, r in expected.items():
+            assert run.result[v] == pytest.approx(r, abs=1e-6)
+
+    def test_convergence_flag(self, rmat_graph):
+        program = PageRank(tolerance=1e-3, max_supersteps=100)
+        run = run_functional(program, rmat_graph, None)
+        assert run.state.scalars["converged"]
+
+    def test_superstep_cap(self, rmat_graph):
+        program = PageRank(tolerance=0.0, max_supersteps=4)
+        run = run_functional(program, rmat_graph, None)
+        assert run.state.scalars["superstep"] == 4
+        assert not run.state.scalars["converged"]
+
+    def test_ranks_positive(self, rmat_graph):
+        run = run_functional(PageRank(max_supersteps=20), rmat_graph, None)
+        assert (run.result > 0).all()
+
+
+class TestBetweenness:
+    def test_matches_reference(self, rmat_graph, rmat_source):
+        program = BetweennessCentrality()
+        run = run_functional(program, rmat_graph, rmat_source)
+        expected, _ = program.reference(rmat_graph, rmat_source)
+        assert np.allclose(run.result, expected, atol=1e-9)
+
+    def test_matches_brute_force_path_counting(self):
+        """delta[v] = sum over targets t of sigma_st(v) / sigma_st,
+        verified by enumerating every shortest path with networkx."""
+        nx = pytest.importorskip("networkx")
+        # Dedup: networkx collapses parallel edges, while sigma counting
+        # on a multigraph weights paths by edge multiplicity.
+        g = rmat(4, 3, seed=9, dedup=True)  # 16 vertices: enumeration stays tiny
+        src = int(np.argmax(g.out_degrees()))
+        run = run_functional(BetweennessCentrality(), g, src)
+        ng = nx.DiGraph(list(g.iter_edges()))
+        ng.add_nodes_from(range(g.num_vertices))
+        expected = np.zeros(g.num_vertices)
+        for target in ng.nodes:
+            if target == src or not nx.has_path(ng, src, target):
+                continue
+            paths = list(nx.all_shortest_paths(ng, src, target))
+            for path in paths:
+                for v in path[1:-1]:  # interior vertices only
+                    expected[v] += 1.0 / len(paths)
+                expected[path[0]] += 1.0 / len(paths)  # source-side endpoint
+        # Our delta accumulates (1 + delta) along predecessors, which
+        # includes the source endpoint share; drop it for both sides.
+        for v in range(g.num_vertices):
+            if v == src:
+                continue
+            assert run.result[v] == pytest.approx(
+                expected[v], abs=1e-9
+            ), v
+
+    def test_path_graph_dependencies(self):
+        # 0 -> 1 -> 2 -> 3: delta = (2, 1, 0) prefix pattern.
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(np.array([0, 1, 2]), np.array([1, 2, 3]), 4)
+        run = run_functional(BetweennessCentrality(), g, 0)
+        assert list(run.result) == [3.0, 2.0, 1.0, 0.0]
+
+    def test_isolated_source(self, tiny_graph):
+        run = run_functional(BetweennessCentrality(), tiny_graph, 5)
+        assert (run.result == 0).all()
+
+    def test_source_validation(self, tiny_graph):
+        with pytest.raises(WorkloadError):
+            BetweennessCentrality().create_state(tiny_graph, None)

@@ -1,0 +1,44 @@
+"""The functional executor: convergence, counting, and guards."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import get_workload
+from repro.workloads.driver import run_functional
+
+
+class TestExecution:
+    def test_round_count_matches_bfs_depth(self, tiny_graph):
+        run = run_functional(get_workload("bfs"), tiny_graph, 0)
+        # Levels 0..3 propagate over 4 rounds (the last discovers vertex 4,
+        # which then propagates nothing).
+        assert run.rounds == 4
+
+    def test_message_and_edge_counts_align(self, rmat_graph, rmat_source):
+        run = run_functional(get_workload("bfs"), rmat_graph, rmat_source)
+        assert run.messages == run.edges_traversed
+        assert run.messages > 0
+
+    def test_isolated_source_terminates_quickly(self, tiny_graph):
+        run = run_functional(get_workload("bfs"), tiny_graph, 5)
+        assert run.rounds == 1
+        assert run.messages == 0
+
+    def test_max_rounds_guard(self, rmat_graph):
+        with pytest.raises(WorkloadError):
+            run_functional(
+                get_workload("pr", max_supersteps=100),
+                rmat_graph,
+                None,
+                max_rounds=2,
+            )
+
+    def test_functional_efficiency_is_perfect_for_bfs(
+        self, rmat_graph, rmat_source
+    ):
+        """Round-synchronous execution traverses each cone edge once."""
+        program = get_workload("bfs")
+        run = run_functional(program, rmat_graph, rmat_source)
+        _, sequential_edges = program.reference(rmat_graph, rmat_source)
+        assert run.edges_traversed == sequential_edges

@@ -1,0 +1,105 @@
+"""BFS / SSSP / CC semantics via the functional driver, against oracles
+(including networkx cross-checks on small graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import uniform_random, with_uniform_weights
+from repro.workloads import get_workload
+from repro.workloads.driver import run_functional
+
+
+class TestBFS:
+    def test_matches_reference(self, rmat_graph, rmat_source):
+        program = get_workload("bfs")
+        run = run_functional(program, rmat_graph, rmat_source)
+        expected, _ = program.reference(rmat_graph, rmat_source)
+        assert np.array_equal(run.result, expected)
+
+    def test_matches_networkx(self, rmat_graph, rmat_source):
+        nx = pytest.importorskip("networkx")
+        g = nx.DiGraph(list(rmat_graph.iter_edges()))
+        lengths = nx.single_source_shortest_path_length(g, rmat_source)
+        run = run_functional(get_workload("bfs"), rmat_graph, rmat_source)
+        for v, d in lengths.items():
+            assert run.result[v] == d
+
+    def test_unreachable_is_inf(self, tiny_graph):
+        run = run_functional(get_workload("bfs"), tiny_graph, 0)
+        assert np.isinf(run.result[5])
+
+    def test_source_validation(self, tiny_graph):
+        program = get_workload("bfs")
+        with pytest.raises(WorkloadError):
+            program.create_state(tiny_graph, None)
+        with pytest.raises(WorkloadError):
+            program.create_state(tiny_graph, 99)
+
+    def test_sequential_edges_counts_reached_cone(self, tiny_graph):
+        _, edges = get_workload("bfs").reference(tiny_graph, 0)
+        # Vertices 0..4 reached; their out-degrees are 2,1,1,1,0.
+        assert edges == 5
+
+
+class TestSSSP:
+    def test_matches_reference(self, weighted_graph, rmat_source):
+        program = get_workload("sssp")
+        run = run_functional(program, weighted_graph, rmat_source)
+        expected, _ = program.reference(weighted_graph, rmat_source)
+        assert np.allclose(run.result, expected)
+
+    def test_matches_networkx(self, rmat_source):
+        nx = pytest.importorskip("networkx")
+        g = with_uniform_weights(uniform_random(64, 512, seed=2), seed=5)
+        src = 0
+        ng = nx.DiGraph()
+        for (u, v), w in zip(g.iter_edges(), g.weights):
+            if not ng.has_edge(u, v) or ng[u][v]["weight"] > w:
+                ng.add_edge(u, v, weight=float(w))
+        lengths = nx.single_source_dijkstra_path_length(ng, src)
+        run = run_functional(get_workload("sssp"), g, src)
+        for v, d in lengths.items():
+            assert run.result[v] == pytest.approx(d)
+
+    def test_shorter_than_bfs_weighting(self, tiny_graph):
+        # Unit weights make SSSP equal BFS.
+        g = CSRGraph(tiny_graph.row_ptr, tiny_graph.col_idx,
+                     np.ones(tiny_graph.num_edges))
+        sssp = run_functional(get_workload("sssp"), g, 0).result
+        bfs = run_functional(get_workload("bfs"), tiny_graph, 0).result
+        assert np.array_equal(sssp, bfs)
+
+    def test_negative_weights_rejected(self, tiny_graph):
+        g = CSRGraph(tiny_graph.row_ptr, tiny_graph.col_idx,
+                     -np.ones(tiny_graph.num_edges))
+        with pytest.raises(WorkloadError):
+            get_workload("sssp").create_state(g, 0)
+
+
+class TestCC:
+    def test_matches_reference(self, symmetric_graph):
+        program = get_workload("cc")
+        run = run_functional(program, symmetric_graph, None)
+        expected, _ = program.reference(symmetric_graph, None)
+        assert np.array_equal(run.result, expected)
+
+    def test_matches_networkx_components(self):
+        nx = pytest.importorskip("networkx")
+        g = uniform_random(128, 200, seed=4).symmetrized()
+        run = run_functional(get_workload("cc"), g, None)
+        ng = nx.Graph(list(g.iter_edges()))
+        ng.add_nodes_from(range(g.num_vertices))
+        for component in nx.connected_components(ng):
+            labels = {run.result[v] for v in component}
+            assert len(labels) == 1
+            assert labels.pop() == min(component)
+
+    def test_isolated_vertices_keep_own_label(self, tiny_graph):
+        run = run_functional(get_workload("cc"), tiny_graph.symmetrized(), None)
+        assert run.result[5] == 5
+
+    def test_single_component_grid(self, grid_graph):
+        run = run_functional(get_workload("cc"), grid_graph, None)
+        assert (run.result == 0).all()

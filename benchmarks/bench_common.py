@@ -6,11 +6,21 @@ tables are buffered and dumped both to ``benchmarks/results/`` and to the
 terminal after pytest's capture ends, so ``pytest benchmarks/
 --benchmark-only`` shows them inline.
 
+All simulation runs go through :class:`repro.runner.SweepRunner`: results
+persist in a content-addressed on-disk cache keyed by config + graph
+arrays + workload + source + package version, so re-running a figure
+recomputes nothing, and multi-run experiments can prefetch their whole
+case list through the runner's worker pool (see :func:`prefetch_nova`).
+
 Environment knobs:
 
 - ``REPRO_BENCH_SCALE``: linear suite scale (default 1/256; smaller is
   faster and proportionally shrinks on-chip capacities).
 - ``REPRO_BENCH_PR_STEPS``: PageRank supersteps in timing runs (default 5).
+- ``REPRO_BENCH_CACHE``: set to ``0`` to disable the on-disk run cache.
+- ``REPRO_CACHE_DIR``: cache root (default
+  ``benchmarks/results/runcache``).
+- ``REPRO_WORKERS``: worker processes for prefetched sweeps.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from repro import (
 from repro.core.metrics import RunResult
 from repro.graph import suites
 from repro.graph.generators import with_uniform_weights
+from repro.runner import RunSpec, SweepRunner
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1.0 / 256.0))
 PR_STEPS = int(os.environ.get("REPRO_BENCH_PR_STEPS", 5))
@@ -104,6 +115,14 @@ def polygraph_config(onchip_bytes: Optional[int] = None, **kwargs):
 
 _RUN_CACHE: Dict[Tuple, RunResult] = {}
 
+_USE_DISK_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+_RUNNER = SweepRunner(
+    cache_dir=os.environ.get(
+        "REPRO_CACHE_DIR", os.path.join(_RESULTS_DIR, "runcache")
+    ),
+    use_cache=_USE_DISK_CACHE,
+)
+
 
 def _graph_for(workload: str, graph_name: str):
     if workload == "sssp":
@@ -121,23 +140,71 @@ def _source_for(workload: str, graph_name: str) -> Optional[int]:
     return None if workload in ("cc", "pr") else bench_source(graph_name)
 
 
+def _nova_case(
+    workload: str,
+    graph_name: str,
+    num_gpns: int,
+    placement: str,
+    config_updates: dict,
+) -> Tuple[Tuple, RunSpec]:
+    key = (
+        "nova",
+        workload,
+        graph_name,
+        num_gpns,
+        placement,
+        tuple(sorted(config_updates.items())),
+    )
+    spec = RunSpec(
+        workload,
+        _graph_for(workload, graph_name),
+        config=nova_config(num_gpns, **config_updates),
+        source=_source_for(workload, graph_name),
+        placement=placement,
+        workload_kwargs=_workload_kwargs(workload),
+    )
+    return key, spec
+
+
 def run_nova(
-    workload: str, graph_name: str, num_gpns: int = 1, **config_updates
+    workload: str,
+    graph_name: str,
+    num_gpns: int = 1,
+    placement: str = "random",
+    **config_updates,
 ) -> RunResult:
-    """Memoized NOVA run at bench scale (random placement, paper default)."""
-    key = ("nova", workload, graph_name, num_gpns, tuple(sorted(config_updates.items())))
+    """Cached NOVA run at bench scale (random placement, paper default)."""
+    key, spec = _nova_case(
+        workload, graph_name, num_gpns, placement, config_updates
+    )
     if key not in _RUN_CACHE:
-        system = NovaSystem(
-            nova_config(num_gpns, **config_updates),
-            _graph_for(workload, graph_name),
-            placement="random",
-        )
-        _RUN_CACHE[key] = system.run(
-            workload,
-            source=_source_for(workload, graph_name),
-            **_workload_kwargs(workload),
-        )
+        _RUN_CACHE[key] = _RUNNER.run_one(spec)
     return _RUN_CACHE[key]
+
+
+def prefetch_nova(cases) -> None:
+    """Prime the run caches for many NOVA cases in one sweep.
+
+    Each case is ``(workload, graph_name, num_gpns)`` optionally followed
+    by a config-updates dict.  Uncached cases execute through the
+    runner's worker pool, so a figure's whole grid computes in parallel
+    before its ``run_nova`` calls resolve from cache.
+    """
+    keys, specs = [], []
+    for case in cases:
+        updates = {}
+        if case and isinstance(case[-1], dict):
+            updates = case[-1]
+            case = case[:-1]
+        workload, graph_name, num_gpns = case
+        key, spec = _nova_case(workload, graph_name, num_gpns, "random", updates)
+        if key in _RUN_CACHE or key in keys:
+            continue
+        keys.append(key)
+        specs.append(spec)
+    if specs:
+        results, _ = _RUNNER.run(specs)
+        _RUN_CACHE.update(zip(keys, results))
 
 
 def run_polygraph(
@@ -145,26 +212,30 @@ def run_polygraph(
 ) -> RunResult:
     key = ("pg", workload, graph_name, onchip_bytes)
     if key not in _RUN_CACHE:
-        system = PolyGraphSystem(
-            polygraph_config(onchip_bytes), _graph_for(workload, graph_name)
-        )
-        _RUN_CACHE[key] = system.run(
+        spec = RunSpec(
             workload,
+            _graph_for(workload, graph_name),
+            config=polygraph_config(onchip_bytes),
+            system="polygraph",
             source=_source_for(workload, graph_name),
-            **_workload_kwargs(workload),
+            workload_kwargs=_workload_kwargs(workload),
         )
+        _RUN_CACHE[key] = _RUNNER.run_one(spec)
     return _RUN_CACHE[key]
 
 
 def run_ligra(workload: str, graph_name: str) -> RunResult:
     key = ("ligra", workload, graph_name)
     if key not in _RUN_CACHE:
-        model = LigraModel(LigraConfig(), _graph_for(workload, graph_name))
-        _RUN_CACHE[key] = model.run(
+        spec = RunSpec(
             workload,
+            _graph_for(workload, graph_name),
+            config=LigraConfig(),
+            system="ligra",
             source=_source_for(workload, graph_name),
-            **_workload_kwargs(workload),
+            workload_kwargs=_workload_kwargs(workload),
         )
+        _RUN_CACHE[key] = _RUNNER.run_one(spec)
     return _RUN_CACHE[key]
 
 

@@ -1,0 +1,171 @@
+"""Hot-path performance smoke: vectorized engine vs scalar golden engine.
+
+Times the same simulations on :class:`~repro.core.engine.NovaEngine`
+(flat-batched quantum phases) and
+:class:`~repro.core.engine_scalar.ScalarNovaEngine` (the per-PE loop
+reference), asserts the results are bit-identical, and gates on the
+vectorized engine sustaining at least ``MIN_SPEEDUP`` more quanta per
+wall-clock second on a 64-PE configuration.  It also demonstrates the
+sweep runner's cache: a second invocation of the same sweep must
+recompute nothing.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Writes quanta/sec and wall-clock numbers to
+``benchmarks/results/BENCH_hotpath.json`` and exits nonzero if the
+speedup gate or any parity check fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro import NovaSystem, scaled_config
+from repro.graph.generators import rmat
+from repro.runner import RunSpec, SweepRunner
+
+MIN_SPEEDUP = 2.0
+TRIALS = 3  # best-of-N to ride out scheduler noise on small containers
+
+CASES = [
+    {
+        "name": "bfs_rmat13",
+        "workload": "bfs",
+        "graph": ("rmat", 13, 8, 5),
+        "source": 0,
+        "kwargs": {},
+    },
+    {
+        "name": "pr_rmat12",
+        "workload": "pr",
+        "graph": ("rmat", 12, 8, 5),
+        "source": None,
+        "kwargs": {"max_supersteps": 20},
+    },
+]
+
+
+def build_graph(spec):
+    kind, scale, degree, seed = spec
+    assert kind == "rmat"
+    return rmat(scale, degree, seed=seed)
+
+
+def same_result(a, b) -> bool:
+    if a.elapsed_seconds != b.elapsed_seconds or a.quanta != b.quanta:
+        return False
+    if not np.array_equal(a.result, b.result):
+        return False
+    return (
+        a.messages_sent == b.messages_sent
+        and a.messages_processed == b.messages_processed
+        and a.traffic == b.traffic
+    )
+
+
+def time_engine(engine: str, case, config) -> dict:
+    graph = build_graph(case["graph"])
+    best = None
+    result = None
+    for _ in range(TRIALS):
+        system = NovaSystem(config, graph, placement="random", engine=engine)
+        start = time.perf_counter()
+        run = system.run(case["workload"], source=case["source"], **case["kwargs"])
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+            result = run
+    return {
+        "wall_seconds": best,
+        "quanta": result.quanta,
+        "quanta_per_sec": result.quanta / best,
+        "result": result,
+    }
+
+
+def check_run_cache() -> dict:
+    """Same sweep twice through a fresh cache: second pass computes 0."""
+    graph = rmat(10, 8, seed=5)
+    config = scaled_config(num_gpns=2, scale=1.0 / 1024.0)
+    specs = [
+        RunSpec("bfs", graph, config=config, source=s) for s in (0, 1, 2)
+    ]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = SweepRunner(workers=1, cache_dir=cache_dir)
+        first_results, first = runner.run(specs)
+        second_results, second = runner.run(specs)
+    ok = (
+        first.computed == len(specs)
+        and second.computed == 0
+        and second.hits == len(specs)
+        and all(same_result(a, b) for a, b in zip(first_results, second_results))
+    )
+    return {
+        "first": str(first),
+        "second": str(second),
+        "zero_recompute": ok,
+    }
+
+
+def main() -> int:
+    config = scaled_config(num_gpns=8, scale=1.0 / 256.0)  # 64 PEs
+    report = {
+        "config": {"num_gpns": 8, "scale": 1.0 / 256.0, "pes": 64},
+        "trials": TRIALS,
+        "min_speedup": MIN_SPEEDUP,
+        "cases": {},
+    }
+    failed = False
+    for case in CASES:
+        scalar = time_engine("scalar", case, config)
+        vector = time_engine("vectorized", case, config)
+        parity = same_result(scalar["result"], vector["result"])
+        speedup = vector["quanta_per_sec"] / scalar["quanta_per_sec"]
+        report["cases"][case["name"]] = {
+            "workload": case["workload"],
+            "quanta": vector["quanta"],
+            "scalar_wall_seconds": scalar["wall_seconds"],
+            "vectorized_wall_seconds": vector["wall_seconds"],
+            "scalar_quanta_per_sec": scalar["quanta_per_sec"],
+            "vectorized_quanta_per_sec": vector["quanta_per_sec"],
+            "speedup": speedup,
+            "parity": parity,
+        }
+        status = "ok" if parity and speedup >= MIN_SPEEDUP else "FAIL"
+        if status == "FAIL":
+            failed = True
+        print(
+            f"{case['name']:>12}: {vector['quanta']} quanta  "
+            f"scalar {scalar['wall_seconds']:.3f}s  "
+            f"vectorized {vector['wall_seconds']:.3f}s  "
+            f"speedup {speedup:.2f}x  parity={parity}  [{status}]"
+        )
+
+    report["run_cache"] = check_run_cache()
+    print(
+        "run cache: first pass "
+        f"[{report['run_cache']['first']}], second pass "
+        f"[{report['run_cache']['second']}]"
+    )
+    if not report["run_cache"]["zero_recompute"]:
+        failed = True
+
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = os.path.join(out_dir, "BENCH_hotpath.json")
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {out_path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ work-efficiency gains.
 
 import pytest
 
-from bench_common import emit, run_nova
+from bench_common import emit, prefetch_nova, run_nova
 
 GPN_SWEEP = (1, 2, 4, 8)
 GRAPHS = ("twitter", "urand")
@@ -19,6 +19,11 @@ WORKLOADS = ("bfs", "bc")
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_fig07_strong_scaling(once, workload):
     def experiment():
+        prefetch_nova(
+            (workload, graph_name, gpns)
+            for graph_name in GRAPHS
+            for gpns in GPN_SWEEP
+        )
         table = {}
         for graph_name in GRAPHS:
             table[graph_name] = [

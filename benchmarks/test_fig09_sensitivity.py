@@ -7,18 +7,14 @@
     infinite-bandwidth point-to-point network).
 """
 
-import numpy as np
 import pytest
 
-from repro import NovaSystem
 from repro.units import KiB
 
 from bench_common import (
     BENCH_SCALE,
-    bench_graph,
-    bench_source,
     emit,
-    nova_config,
+    prefetch_nova,
     run_nova,
 )
 
@@ -32,6 +28,11 @@ CACHE_SWEEP_BYTES = tuple(
 @pytest.mark.benchmark(group="fig09")
 def test_fig09a_cache_size(once):
     def experiment():
+        prefetch_nova(
+            ("bfs", name, 1, {"cache_bytes_per_pe": cache})
+            for name in ("road", "twitter")
+            for cache in CACHE_SWEEP_BYTES
+        )
         table = {}
         for name in ("road", "twitter"):
             table[name] = [
@@ -65,12 +66,8 @@ def test_fig09b_vertex_mapping(once):
     def experiment():
         table = {}
         for name in ("road", "twitter"):
-            graph = bench_graph(name)
-            source = bench_source(name)
             table[name] = {
-                placement: NovaSystem(
-                    nova_config(8), graph, placement=placement
-                ).run("bfs", source=source)
+                placement: run_nova("bfs", name, 8, placement=placement)
                 for placement in ("random", "load_balanced", "locality")
             }
         return table
@@ -108,16 +105,10 @@ def test_fig09b_vertex_mapping(once):
 
 @pytest.mark.benchmark(group="fig09")
 def test_fig09c_fabric_topology(once):
-    graph = bench_graph("twitter")
-    source = bench_source("twitter")
-
     def experiment():
         runs = {}
         for fabric in ("hierarchical", "ideal"):
-            system = NovaSystem(
-                nova_config(8, fabric_kind=fabric), graph, placement="random"
-            )
-            runs[fabric] = system.run("bfs", source=source)
+            runs[fabric] = run_nova("bfs", "twitter", 8, fabric_kind=fabric)
         return runs
 
     runs = once(experiment)

@@ -3,6 +3,8 @@
 Commands:
 
 - ``run``       simulate a workload on NOVA / PolyGraph / Ligra
+- ``sweep``     run a (workload x GPN-count x source) sweep through the
+  cached process-parallel runner (see :mod:`repro.runner`)
 - ``generate``  build a synthetic graph and save it
 - ``info``      print the system configuration (Table II) and tracker sizing
 - ``resources`` print Table IV terascale requirements
@@ -34,7 +36,7 @@ from repro import (
     scaled_config,
 )
 from repro.analysis.resources import terascale_requirements
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.graph import io as graph_io
 from repro.graph import suites
 from repro.graph.csr import CSRGraph
@@ -136,6 +138,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.harness import sample_sources
+    from repro.runner import RunSpec, SweepRunner
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    known = ("bfs", "cc", "sssp", "pr", "bc")
+    for workload in workloads:
+        if workload not in known:
+            raise ConfigError(
+                f"unknown workload {workload!r}; choose from {', '.join(known)}"
+            )
+    gpn_counts = [int(g) for g in args.gpns.split(",")]
+    base_graph = build_graph(args.graph, seed=args.seed)
+
+    specs = []
+    rows = []  # (workload, gpns, source) aligned with specs
+    for workload in workloads:
+        graph = base_graph
+        if workload == "sssp" and not graph.has_weights:
+            graph = with_uniform_weights(base_graph, seed=args.seed)
+        elif workload == "cc":
+            graph = base_graph.symmetrized()
+        if workload in ("cc", "pr"):
+            sources = [None]
+        else:
+            sources = [
+                int(s)
+                for s in sample_sources(graph, args.sources, seed=args.seed)
+            ]
+        kwargs = (
+            {"max_supersteps": args.pr_supersteps} if workload == "pr" else {}
+        )
+        for gpns in gpn_counts:
+            config = scaled_config(num_gpns=gpns, scale=args.scale)
+            for source in sources:
+                specs.append(
+                    RunSpec(
+                        workload,
+                        graph,
+                        config=config,
+                        source=source,
+                        placement=args.placement,
+                        workload_kwargs=kwargs,
+                    )
+                )
+                rows.append((workload, gpns, source))
+
+    runner = SweepRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    results, stats = runner.run(specs)
+
+    print(f"{'workload':>8} {'gpns':>4} {'source':>8} {'time(ms)':>10} {'GTEPS':>8}")
+    for (workload, gpns, source), run in zip(rows, results):
+        src = "-" if source is None else str(source)
+        print(
+            f"{workload:>8} {gpns:>4} {src:>8} "
+            f"{run.elapsed_seconds * 1e3:>10.4f} {run.gteps:>8.2f}"
+        )
+    print(stats)
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = build_graph(args.kind, seed=args.seed)
     if args.weights:
@@ -234,6 +301,34 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--verify", action="store_true",
                      help="check results against the sequential oracle")
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a cached, process-parallel sweep of NOVA simulations",
+    )
+    sweep.add_argument("--graph", default="rmat:14:16",
+                       help="graph specifier (see --help header)")
+    sweep.add_argument("--workloads", default="bfs",
+                       help="comma-separated, e.g. bfs,sssp,pr")
+    sweep.add_argument("--gpns", default="1",
+                       help="comma-separated GPN counts, e.g. 1,2,4,8")
+    sweep.add_argument("--sources", type=int, default=4,
+                       help="sampled sources per traversal workload")
+    sweep.add_argument("--scale", type=float, default=1 / 256)
+    sweep.add_argument("--placement", default="random",
+                       choices=("interleave", "random", "load_balanced",
+                                "locality"))
+    sweep.add_argument("--pr-supersteps", type=int, default=10)
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: REPRO_WORKERS or "
+                            "cpu count)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="run-cache root (default: REPRO_CACHE_DIR or "
+                            "~/.cache/repro-nova)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute every run and store nothing")
+    sweep.set_defaults(func=_cmd_sweep)
 
     gen = sub.add_parser("generate", help="build and save a graph")
     gen.add_argument("--kind", required=True, help="graph specifier")

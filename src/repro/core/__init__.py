@@ -19,9 +19,15 @@ Public entry point: :class:`~repro.core.system.NovaSystem`.
 
 from repro.core.layout import VertexMemoryLayout
 from repro.core.tracker import TrackerModule
-from repro.core.queues import MessageQueue, PendingWork
+from repro.core.queues import (
+    MessageQueue,
+    PendingWork,
+    PooledMessageQueue,
+    PooledPendingWork,
+)
 from repro.core.metrics import RunResult
 from repro.core.engine import NovaEngine
+from repro.core.engine_scalar import ScalarNovaEngine
 from repro.core.system import NovaSystem
 
 __all__ = [
@@ -29,7 +35,10 @@ __all__ = [
     "TrackerModule",
     "MessageQueue",
     "PendingWork",
+    "PooledMessageQueue",
+    "PooledPendingWork",
     "RunResult",
     "NovaEngine",
+    "ScalarNovaEngine",
     "NovaSystem",
 ]

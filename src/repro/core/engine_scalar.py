@@ -1,41 +1,19 @@
-"""The NOVA execution engine: a decoupled MPU / VMU / MGU pipeline.
+"""The seed scalar-loop NOVA engine, kept as the golden reference.
 
-Functional semantics are exact (the vertex program operates on coherent
-numpy state); timing is cycle-approximate through variable-duration
-quanta (DESIGN.md section 4).  Within each quantum:
+This is the original per-PE-loop implementation of the decoupled
+MPU / VMU / MGU pipeline, preserved verbatim when the hot path in
+:mod:`repro.core.engine` was vectorized across PEs.  It serves two
+purposes:
 
-1. **MPU phase** -- every PE pops a bounded batch of messages from its
-   inbox, resolves vertex accesses through its direct-mapped cache
-   (misses and dirty write-backs charge the PE's HBM channel), applies
-   the workload's reduce, and reports newly activated vertices to the
-   tracker.
-2. **VMU phase** -- every PE whose active buffer is running low selects
-   non-empty superblocks in cursor rotation and scans them, charging
-   useful reads for active blocks and wasteful reads for the inactive
-   blocks covered by the scan (Fig 10).  Collected vertices enter the
-   active buffer with snapshotted property values.
-3. **MGU phase** -- every PE expands a bounded number of edges from its
-   active buffer (partially consuming high-degree vertices), charging
-   sequential DDR reads and generating messages routed by the fabric.
+1. **Golden equivalence**: ``tests/core/test_engine_parity.py`` runs
+   both engines on the same inputs and asserts bit-identical results
+   (same ``elapsed_seconds``, message counters, and vertex state) --
+   the vectorized engine is an optimization, not a semantic change.
+2. **Perf baseline**: ``benchmarks/perf_smoke.py`` measures the
+   vectorized engine's quanta/sec against this one.
 
-The quantum's duration is the slowest resource's service time, floored
-by the pipeline latency; messages generated in quantum *t* are delivered
-to inboxes at its end and processed from *t+1* on -- which is what gives
-spilled vertices their enlarged coalescing window.
-
-Both execution models of the paper are supported: **asynchronous** (all
-three phases run every quantum until the machine drains) and **BSP**
-(propagation and reduction alternate under a barrier, driven by the
-program's ``superstep_end``).
-
-All three phases operate on flat cross-PE arrays: per-PE queues are
-pooled (:class:`repro.core.queues.PooledMessageQueue` /
-:class:`PooledPendingWork`), memory channels are banked
-(:class:`repro.memory.channel.BandwidthChannelArray`), and the tracker
-selects and collects superblocks for every eligible PE in one pass.  The
-per-PE scalar-loop formulation is preserved bit-for-bit in
-:mod:`repro.core.engine_scalar`; ``tests/core/test_engine_parity.py``
-pins the equivalence.
+See :mod:`repro.core.engine` for the pipeline documentation; the two
+files implement the same model.
 """
 
 from __future__ import annotations
@@ -47,72 +25,22 @@ import numpy as np
 from repro.errors import ConfigError, SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import VertexPlacement, interleave_placement
+from repro.core.engine import build_fabric, make_fu_pools
 from repro.core.layout import VertexMemoryLayout
 from repro.core.metrics import RunResult
-from repro.core.queues import MessageQueue, PooledMessageQueue, PooledPendingWork
+from repro.core.queues import MessageQueue, PendingWork
 from repro.core.tracker import TrackerModule
 from repro.memory.cache import CacheArray
-from repro.memory.channel import BandwidthChannelArray
-from repro.network.fabric import (
-    Fabric,
-    HierarchicalFabric,
-    IdealFabric,
-    PointToPointFabric,
-)
+from repro.memory.channel import BandwidthChannel
 from repro.sim.config import NovaConfig
-from repro.sim.engine import QuantumClock, ResourcePool
+from repro.sim.engine import QuantumClock
 from repro.sim.stats import StatGroup
 from repro.sim.trace import QuantumSample, TraceRecorder
 from repro.workloads.base import VertexProgram, expand_edges
 
 
-def build_fabric(config: NovaConfig) -> Fabric:
-    """Instantiate the interconnect named by ``config.fabric_kind``."""
-    if config.fabric_kind == "ideal":
-        return IdealFabric(config.num_pes)
-    if config.fabric_kind == "p2p":
-        return PointToPointFabric(config.num_pes, config.link_bandwidth)
-    return HierarchicalFabric(
-        config.num_gpns,
-        config.pes_per_gpn,
-        config.link_bandwidth,
-        config.port_bandwidth,
-    )
-
-
-def make_fu_pools(
-    config: NovaConfig,
-) -> Tuple[List[ResourcePool], List[ResourcePool]]:
-    """Per-GPN reduce and propagate functional-unit pools (Table II)."""
-
-    def pools(prefix: str, units_per_gpn: int) -> List[ResourcePool]:
-        rate = units_per_gpn * config.frequency_hz
-        return [
-            ResourcePool(f"{prefix}.gpn{g}", rate)
-            for g in range(config.num_gpns)
-        ]
-
-    return (
-        pools("reduce_fu", config.reduce_fus_per_gpn),
-        pools("prop_fu", config.propagate_fus_per_gpn),
-    )
-
-
-class _InboxView:
-    """Read-only per-PE view of the pooled inbox (test/debug surface)."""
-
-    __slots__ = ("_pool", "_pe")
-
-    def __init__(self, pool: PooledMessageQueue, pe: int) -> None:
-        self._pool = pool
-        self._pe = pe
-
-    def __len__(self) -> int:
-        return int(self._pool.sizes[self._pe])
-
-
-class NovaEngine:
-    """One end-to-end NOVA execution of a vertex program on a graph."""
+class ScalarNovaEngine:
+    """One end-to-end NOVA execution, per-PE scalar loops (seed semantics)."""
 
     def __init__(
         self,
@@ -146,8 +74,8 @@ class NovaEngine:
         self.state = program.create_state(graph, source)
         self.active_now = np.zeros(graph.num_vertices, dtype=bool)
         self.tracker = TrackerModule(self.layout)
-        self.inbox_pool = PooledMessageQueue(p)
-        self.pending_pool = PooledPendingWork(p)
+        self.inboxes = [MessageQueue() for _ in range(p)]
+        self.pending = [PendingWork() for _ in range(p)]
         #: Table I's alternative spilling method: per-PE off-chip FIFOs
         #: of (vertex, value-at-spill) copies.  Only used in "fifo" mode.
         self.spill_fifos = [MessageQueue() for _ in range(p)]
@@ -156,8 +84,8 @@ class NovaEngine:
         self.cache = CacheArray(
             p, config.cache_bytes_per_pe, config.cache_line_bytes
         )
-        self.hbm = BandwidthChannelArray(config.vertex_channel, p)
-        self.ddr = BandwidthChannelArray(config.edge_pool, config.num_gpns)
+        self.hbm = [BandwidthChannel(config.vertex_channel) for _ in range(p)]
+        self.ddr = [BandwidthChannel(config.edge_pool) for _ in range(config.num_gpns)]
         self.reduce_pool, self.propagate_pool = make_fu_pools(config)
         self.fabric = build_fabric(config)
         self.clock = QuantumClock(
@@ -175,16 +103,6 @@ class NovaEngine:
         )
         sb_bytes = config.superblock_dim * config.block_bytes
         self._max_scans = max(1, int(scan_bytes_budget // sb_bytes))
-        self._pe_ids = np.arange(p, dtype=np.int64)
-        self._gpn_of_pe = self._pe_ids // config.pes_per_gpn
-        self._vmu_budget = max(
-            config.vertices_per_block,
-            int(
-                config.vmu_supply_rate_per_pe
-                * config.latency_floor_s
-                * config.quantum_overlap
-            ),
-        )
 
         self.trace = TraceRecorder() if trace else None
         self._trace_prev = (0, 0, 0)
@@ -197,13 +115,6 @@ class NovaEngine:
         self._coalesced = 0
         self._activations = 0
         self._outbox: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-
-    @property
-    def inboxes(self) -> List[_InboxView]:
-        """Per-PE inbox views (compatibility surface for tests/tools)."""
-        return [
-            _InboxView(self.inbox_pool, pe) for pe in range(self.config.num_pes)
-        ]
 
     # ------------------------------------------------------------------
     # Pipeline phases
@@ -243,37 +154,49 @@ class NovaEngine:
             pe = int(pes[segment[0]])
             self.spill_fifos[pe].push(vertices[segment], values[segment])
             # Two writes per spill: the vertex set plus the buffer copy.
-            self.hbm.charge_write_at(
-                pe, segment.shape[0] * self._fifo_entry_bytes, sequential=True
+            self.hbm[pe].charge_write(
+                segment.shape[0] * self._fifo_entry_bytes, sequential=True
             )
         self._activations += int(vertices.shape[0])
 
     def _mpu_phase(self) -> None:
-        """Pop one flat message batch across PEs, reduce, track activations."""
+        """Pop message batches per PE, reduce globally, track activations."""
         config = self.config
-        pes, dest, values = self.inbox_pool.pop_all(config.mpu_batch_per_pe)
-        if dest.shape[0] == 0:
+        dest_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        pe_parts: List[np.ndarray] = []
+        for pe in range(config.num_pes):
+            inbox = self.inboxes[pe]
+            if len(inbox) == 0:
+                continue
+            dest, values = inbox.pop(config.mpu_batch_per_pe)
+            self.reduce_pool[self._gpn_of(pe)].charge(dest.shape[0])
+            dest_parts.append(dest)
+            val_parts.append(values)
+            pe_parts.append(np.full(dest.shape[0], pe, dtype=np.int64))
+        if not dest_parts:
             return
-        counts = np.bincount(pes, minlength=config.num_pes)
-        per_gpn = counts.reshape(config.num_gpns, config.pes_per_gpn)
-        for g, pool in enumerate(self.reduce_pool):
-            pool.charge_many(per_gpn[g])
+        dest = np.concatenate(dest_parts)
+        values = np.concatenate(val_parts)
+        pes = np.concatenate(pe_parts)
         # Vertex access stream through the per-PE direct-mapped caches.
         blocks = self.layout.block_of(dest)
         cache_out = self.cache.access(pes, blocks, writes=True)
         line = config.cache_line_bytes
-        self.hbm.charge_read_many(
-            self._pe_ids, cache_out.misses_per_cache * line
-        )
-        self.hbm.charge_write_many(
-            self._pe_ids, cache_out.writebacks_per_cache * line
-        )
+        for pe in np.flatnonzero(
+            cache_out.misses_per_cache + cache_out.writebacks_per_cache
+        ):
+            self.hbm[pe].charge_read(int(cache_out.misses_per_cache[pe]) * line)
+            self.hbm[pe].charge_write(
+                int(cache_out.writebacks_per_cache[pe]) * line
+            )
         # Messages landing on a vertex that is already active-pending are
         # absorbed into the pending propagation -- the paper's coalescing
         # (counted before the reduce mutates activation state).
         self._coalesced += int(np.count_nonzero(self.active_now[dest]))
         outcome = self.program.reduce(self.state, dest, values)
-        self._messages_processed += int(dest.shape[0])
+        batch = int(dest.shape[0])
+        self._messages_processed += batch
         self._useful_messages += outcome.useful_messages
         improved = outcome.improved
         if improved.shape[0]:
@@ -292,75 +215,72 @@ class NovaEngine:
             self._vmu_phase_fifo(prop_graph)
             return
         config = self.config
-        eligible = (
-            self.pending_pool.entries_per_pe < self._supply_target
-        ) & self.tracker.work_mask()
-        if config.reduction_priority:
-            # Reduction has priority on the vertex channel (Section I):
-            # prefetch scans only with the bandwidth the MPU left unused
-            # this quantum.  Under reduction load the scans throttle,
-            # spilled vertices wait in DRAM, and updates coalesce.
-            sb_bytes = config.superblock_dim * config.block_bytes
-            quantum_target = config.latency_floor_s * config.quantum_overlap
-            leftover = quantum_target - self.hbm.service_times()
-            budget = (
-                leftover * config.vertex_channel.random_bandwidth // sb_bytes
-            ).astype(np.int64)
-            scans = np.minimum(self._max_scans, budget)
-            eligible &= (leftover > 0) & (scans > 0)
-        else:
-            scans = np.full(config.num_pes, self._max_scans, dtype=np.int64)
-        pes = np.flatnonzero(eligible)
-        if pes.shape[0] == 0:
-            return
-        rows, superblocks = self.tracker.select_superblocks_many(
-            pes, scans[pes]
-        )
-        collected = self.tracker.collect_many(pes, rows, superblocks)
-        block_bytes = config.block_bytes
-        useful_blocks = collected.blocks_read - collected.wasteful_blocks
-        self.hbm.charge_read_many(pes, useful_blocks * block_bytes)
-        self.hbm.charge_read_many(
-            pes, collected.wasteful_blocks * block_bytes, useful=False
-        )
-        if collected.active_blocks.shape[0] == 0:
-            return
-        candidates = self.layout.block_vertices_many(
-            pes[collected.active_rows], collected.active_blocks
-        )
-        vpb = self.layout.vertices_per_block
-        flat = candidates.ravel()
-        row_flat = np.repeat(collected.active_rows, vpb)
-        valid = flat >= 0
-        flat, row_flat = flat[valid], row_flat[valid]
-        is_active = self.active_now[flat]
-        active, act_rows = flat[is_active], row_flat[is_active]
-        n_rows = pes.shape[0]
-        active_counts = np.bincount(act_rows, minlength=n_rows)
-        rows_with_blocks = np.bincount(collected.active_rows, minlength=n_rows)
-        if ((rows_with_blocks > 0) & (active_counts == 0)).any():
-            raise SimulationError("collected block without active vertex")
-        # The active buffer can only absorb what its depth allows per
-        # latency window; overflow blocks are dropped and re-tracked
-        # (the hardware prefetcher stalls when the buffer is full).
-        row_offsets = np.concatenate(([0], np.cumsum(active_counts)[:-1]))
-        pos_in_row = np.arange(active.shape[0], dtype=np.int64) - row_offsets[act_rows]
-        keep = pos_in_row < self._vmu_budget
-        kept, overflow = active[keep], active[~keep]
-        if overflow.shape[0]:
-            self.tracker.track(overflow)
-        self.active_now[kept] = False
-        snapshots = self.program.snapshot(self.state, kept)
-        starts = prop_graph.row_ptr[kept]
-        ends = prop_graph.row_ptr[kept + 1]
-        live = ends > starts  # degree-0 vertices propagate nothing
-        self.pending_pool.push_sorted(
-            pes[act_rows[keep]][live],
-            kept[live],
-            snapshots[live],
-            starts[live],
-            ends[live],
-        )
+        program, state = self.program, self.state
+        sb_bytes = config.superblock_dim * config.block_bytes
+        quantum_target = config.latency_floor_s * config.quantum_overlap
+        for pe in range(config.num_pes):
+            if self.pending[pe].entries >= self._supply_target:
+                continue
+            if not self.tracker.has_work(pe):
+                continue
+            scans = self._max_scans
+            if config.reduction_priority:
+                # Reduction has priority on the vertex channel
+                # (Section I): prefetch scans only with the bandwidth the
+                # MPU left unused this quantum.  Under reduction load the
+                # scans throttle, spilled vertices wait in DRAM, and
+                # updates coalesce.
+                leftover = (
+                    quantum_target - self.hbm[pe].quantum_service_time()
+                )
+                if leftover <= 0:
+                    continue
+                budget = int(
+                    leftover
+                    * config.vertex_channel.random_bandwidth
+                    // sb_bytes
+                )
+                scans = min(self._max_scans, budget)
+                if scans <= 0:
+                    continue
+            superblocks = self.tracker.select_superblocks(pe, scans)
+            collected = self.tracker.collect(pe, superblocks)
+            block_bytes = config.block_bytes
+            useful_blocks = collected.blocks_read - collected.wasteful_blocks
+            self.hbm[pe].charge_read(useful_blocks * block_bytes)
+            self.hbm[pe].charge_read(
+                collected.wasteful_blocks * block_bytes, useful=False
+            )
+            if collected.active_blocks.shape[0] == 0:
+                continue
+            candidates = self.layout.block_vertices(pe, collected.active_blocks)
+            flat = candidates.ravel()
+            flat = flat[flat >= 0]
+            active = flat[self.active_now[flat]]
+            if active.shape[0] == 0:
+                raise SimulationError("collected block without active vertex")
+            # The active buffer can only absorb what its depth allows per
+            # latency window; overflow blocks are dropped and re-tracked
+            # (the hardware prefetcher stalls when the buffer is full).
+            budget = max(
+                config.vertices_per_block,
+                int(
+                    config.vmu_supply_rate_per_pe
+                    * config.latency_floor_s
+                    * config.quantum_overlap
+                ),
+            )
+            kept, overflow = active[:budget], active[budget:]
+            if overflow.shape[0]:
+                self.tracker.track(overflow)
+            self.active_now[kept] = False
+            snapshots = program.snapshot(state, kept)
+            starts = prop_graph.row_ptr[kept]
+            ends = prop_graph.row_ptr[kept + 1]
+            live = ends > starts  # degree-0 vertices propagate nothing
+            self.pending[pe].push(
+                kept[live], snapshots[live], starts[live], ends[live]
+            )
 
     def _vmu_phase_fifo(self, prop_graph: CSRGraph) -> None:
         """Table I's off-chip-buffer retrieval: pop spilled copies in order.
@@ -370,86 +290,75 @@ class NovaEngine:
         copies propagate repeatedly -- the trade the tracker design wins.
         """
         config = self.config
-        entries = self.pending_pool.entries_per_pe
         for pe in range(config.num_pes):
-            if entries[pe] >= self._supply_target:
+            if self.pending[pe].entries >= self._supply_target:
                 continue
             fifo = self.spill_fifos[pe]
             if len(fifo) == 0:
                 continue
             vertices, values = fifo.pop(self._supply_target)
-            self.hbm.charge_read_at(
-                pe, vertices.shape[0] * self._fifo_entry_bytes, sequential=True
+            self.hbm[pe].charge_read(
+                vertices.shape[0] * self._fifo_entry_bytes, sequential=True
             )
             starts = prop_graph.row_ptr[vertices]
             ends = prop_graph.row_ptr[vertices + 1]
             live = ends > starts
-            self.pending_pool.push_sorted(
-                np.full(int(live.sum()), pe, dtype=np.int64),
-                vertices[live],
-                values[live],
-                starts[live],
-                ends[live],
+            self.pending[pe].push(
+                vertices[live], values[live], starts[live], ends[live]
             )
 
     def _mgu_phase(self, prop_graph: CSRGraph, traffic: np.ndarray) -> None:
         """Expand edges from active buffers and emit messages."""
         config = self.config
-        if self.pending_pool.total_entries == 0:
-            return
-        pes, vertices, values, starts, ends = self.pending_pool.pop_edges_all(
-            config.mgu_batch_edges_per_pe
-        )
-        if vertices.shape[0] == 0:
-            return
-        owner_idx, dests, weights = expand_edges(
-            prop_graph, vertices, starts, ends
-        )
-        nedges = int(dests.shape[0])
-        if nedges == 0:
-            return
-        num_pes = config.num_pes
-        src_pe = pes[owner_idx]
-        edges_per_pe = np.bincount(src_pe, minlength=num_pes)
-        self.ddr.charge_read_many(
-            self._gpn_of_pe, edges_per_pe * config.edge_bytes, sequential=True
-        )
-        per_gpn = edges_per_pe.reshape(config.num_gpns, config.pes_per_gpn)
-        for g, pool in enumerate(self.propagate_pool):
-            pool.charge_many(per_gpn[g])
-        msg_values = self.program.propagate_values(
-            self.state, values[owner_idx], weights
-        )
-        self._edges_traversed += nedges
-        self._messages_sent += nedges
-        dst_pe = self.layout.pe_of(dests)
-        traffic += (
-            np.bincount(src_pe * num_pes + dst_pe, minlength=num_pes * num_pes)
-            .reshape(num_pes, num_pes)
-            * config.message_bytes
-        )
-        self._outbox.append((dests, msg_values, dst_pe))
+        program, state = self.program, self.state
+        msg_bytes = config.message_bytes
+        for pe in range(config.num_pes):
+            work = self.pending[pe]
+            if work.entries == 0:
+                continue
+            vertices, values, starts, ends = work.pop_edges(
+                config.mgu_batch_edges_per_pe
+            )
+            owner_idx, dests, weights = expand_edges(
+                prop_graph, vertices, starts, ends
+            )
+            nedges = int(dests.shape[0])
+            if nedges == 0:
+                continue
+            gpn = self._gpn_of(pe)
+            self.ddr[gpn].charge_read(nedges * config.edge_bytes, sequential=True)
+            self.propagate_pool[gpn].charge(nedges)
+            msg_values = program.propagate_values(state, values[owner_idx], weights)
+            self._edges_traversed += nedges
+            self._messages_sent += nedges
+            dst_pe = self.layout.pe_of(dests)
+            traffic[pe] += np.bincount(
+                dst_pe, minlength=config.num_pes
+            ) * msg_bytes
+            self._outbox.append((dests, msg_values, dst_pe))
 
     def _deliver(self) -> None:
         """Move the quantum's generated messages into destination inboxes."""
         if not self._outbox:
             return
-        if len(self._outbox) == 1:
-            dests, values, dst_pe = self._outbox[0]
-        else:
-            dests = np.concatenate([part[0] for part in self._outbox])
-            values = np.concatenate([part[1] for part in self._outbox])
-            dst_pe = np.concatenate([part[2] for part in self._outbox])
+        dests = np.concatenate([part[0] for part in self._outbox])
+        values = np.concatenate([part[1] for part in self._outbox])
+        dst_pe = np.concatenate([part[2] for part in self._outbox])
         self._outbox.clear()
-        # Narrow sort key: PE ids fit uint16 and the stable permutation
-        # is dtype-independent, but radix passes are not.
-        order = np.argsort(dst_pe.astype(np.uint16), kind="stable")
-        self.inbox_pool.push_sorted(dst_pe[order], dests[order], values[order])
+        order = np.argsort(dst_pe, kind="stable")
+        dests, values, dst_pe = dests[order], values[order], dst_pe[order]
+        boundaries = np.flatnonzero(np.diff(dst_pe)) + 1
+        segments = np.split(np.arange(dst_pe.shape[0]), boundaries)
+        for segment in segments:
+            if segment.shape[0] == 0:
+                continue
+            pe = int(dst_pe[segment[0]])
+            self.inboxes[pe].push(dests[segment], values[segment])
 
     def _close_quantum(self, traffic: np.ndarray) -> None:
         services = {
-            "hbm": self.hbm.max_service_time(),
-            "ddr": self.ddr.max_service_time(),
+            "hbm": max(c.quantum_service_time() for c in self.hbm),
+            "ddr": max(c.quantum_service_time() for c in self.ddr),
             "reduce_fu": max(
                 p.quantum_service_time() for p in self.reduce_pool
             ),
@@ -466,8 +375,10 @@ class NovaEngine:
             bottleneck = "latency"
         if self.trace is not None:
             self._record_trace(start, duration, bottleneck, service)
-        self.hbm.end_quantum(duration)
-        self.ddr.end_quantum(duration)
+        for channel in self.hbm:
+            channel.end_quantum(duration)
+        for channel in self.ddr:
+            channel.end_quantum(duration)
         for pool in self.reduce_pool:
             pool.end_quantum(duration)
         for pool in self.propagate_pool:
@@ -493,8 +404,8 @@ class NovaEngine:
                 messages_reduced=reduced - prev[0],
                 vertices_collected=collected - prev[1],
                 edges_expanded=expanded - prev[2],
-                inbox_backlog=self.inbox_pool.total,
-                buffer_occupancy=self.pending_pool.total_entries,
+                inbox_backlog=sum(len(inbox) for inbox in self.inboxes),
+                buffer_occupancy=sum(w.entries for w in self.pending),
                 tracked_blocks=int(self.tracker.counters.sum()),
                 bottleneck=bottleneck,
                 bottleneck_seconds=service,
@@ -506,12 +417,12 @@ class NovaEngine:
     # ------------------------------------------------------------------
 
     def _messages_pending(self) -> bool:
-        return self.inbox_pool.any()
+        return any(len(inbox) for inbox in self.inboxes)
 
     def _propagation_pending(self) -> bool:
         return (
             self.tracker.any_work()
-            or self.pending_pool.total_entries > 0
+            or any(work.entries for work in self.pending)
             or any(len(fifo) for fifo in self.spill_fifos)
         )
 
@@ -574,10 +485,10 @@ class NovaEngine:
     def _build_result(self) -> RunResult:
         config = self.config
         elapsed = self.clock.elapsed_seconds
-        hbm_useful = self.hbm.total_useful_read_bytes
-        hbm_wasteful = self.hbm.total_wasteful_read_bytes
-        hbm_write = self.hbm.total_write_bytes
-        ddr_bytes = self.ddr.total_bytes
+        hbm_useful = sum(c.totals.useful_read_bytes for c in self.hbm)
+        hbm_wasteful = sum(c.totals.wasteful_read_bytes for c in self.hbm)
+        hbm_write = sum(c.totals.write_bytes for c in self.hbm)
+        ddr_bytes = sum(c.totals.total_bytes for c in self.ddr)
 
         # Fig 6 attribution: overfetch time is the mean per-PE time spent
         # reading inactive vertices during superblock scans.
@@ -595,8 +506,8 @@ class NovaEngine:
             "network_bytes": self.fabric.total_bytes,
         }
         utilization = {
-            "hbm": float(np.mean(self.hbm.utilizations(elapsed))),
-            "ddr": float(np.mean(self.ddr.utilizations(elapsed))),
+            "hbm": float(np.mean([c.utilization(elapsed) for c in self.hbm])),
+            "ddr": float(np.mean([c.utilization(elapsed) for c in self.ddr])),
             "fabric": self.fabric.busy_seconds / elapsed if elapsed else 0.0,
             "reduce_fu": float(
                 np.mean([p.utilization(elapsed) for p in self.reduce_pool])

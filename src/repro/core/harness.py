@@ -105,11 +105,59 @@ class ExperimentHarness:
     The harness is system-agnostic: pass any object with a
     ``run(workload, source=..., **kwargs)`` method (NovaSystem,
     PolyGraphSystem, LigraModel).
+
+    With a :class:`~repro.runner.sweep.SweepRunner` attached, the trial
+    runs execute through the runner instead -- cached across harness
+    invocations and fanned out over its worker pool.  (Trials over
+    different sources are independent simulations, so this is exact.)
     """
 
-    def __init__(self, system, graph: CSRGraph) -> None:
+    def __init__(self, system, graph: CSRGraph, runner=None) -> None:
         self.system = system
         self.graph = graph
+        self.runner = runner
+
+    def _run_specs(self, specs) -> List[RunResult]:
+        results, _ = self.runner.run(specs)
+        return results
+
+    def _spec(self, workload: str, source: Optional[int], workload_kwargs):
+        """Describe one ``system.run`` call as a cacheable RunSpec."""
+        from repro.runner.spec import RunSpec
+
+        system = self.system
+        kind = type(system).__name__
+        if kind == "NovaSystem":
+            return RunSpec(
+                workload,
+                self.graph,
+                config=system.config,
+                system="nova",
+                source=source,
+                placement=system.placement,
+                workload_kwargs=dict(workload_kwargs),
+            )
+        if kind == "PolyGraphSystem":
+            return RunSpec(
+                workload,
+                self.graph,
+                config=system.config,
+                system="polygraph",
+                source=source,
+                workload_kwargs=dict(workload_kwargs),
+            )
+        if kind == "LigraModel":
+            return RunSpec(
+                workload,
+                self.graph,
+                config=system.config,
+                system="ligra",
+                source=source,
+                workload_kwargs=dict(workload_kwargs),
+            )
+        raise ConfigError(
+            f"runner-backed harness does not know system {kind!r}"
+        )
 
     def run_sources(
         self,
@@ -123,6 +171,13 @@ class ExperimentHarness:
         if sources is None:
             sources = sample_sources(self.graph, trials, seed=seed)
         aggregate = AggregateResult()
+        if self.runner is not None:
+            specs = [
+                self._spec(workload, int(source), workload_kwargs)
+                for source in sources
+            ]
+            aggregate.runs.extend(self._run_specs(specs))
+            return aggregate
         for source in sources:
             aggregate.runs.append(
                 self.system.run(workload, source=int(source), **workload_kwargs)
@@ -136,6 +191,13 @@ class ExperimentHarness:
         if trials <= 0:
             raise ConfigError("trials must be positive")
         aggregate = AggregateResult()
+        if self.runner is not None:
+            # Source-free runs are deterministic, so the trials are
+            # identical simulations; compute once, reuse the result.
+            spec = self._spec(workload, None, workload_kwargs)
+            run = self.runner.run_one(spec)
+            aggregate.runs.extend([run] * trials)
+            return aggregate
         for _ in range(trials):
             aggregate.runs.append(
                 self.system.run(workload, **workload_kwargs)

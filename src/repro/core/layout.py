@@ -94,3 +94,35 @@ class VertexMemoryLayout:
             + np.arange(self.vertices_per_block, dtype=np.int64)[None, :]
         )
         return self.globals_of(pe, locals_2d.ravel()).reshape(locals_2d.shape)
+
+    # ------------------------------------------------------------------
+    # Cross-PE batch lookups (the vectorized engine's hot path)
+    # ------------------------------------------------------------------
+
+    def globals_of_many(self, pes: np.ndarray, local_ids: np.ndarray) -> np.ndarray:
+        """Global vertex ids for aligned ``(pe, local_id)`` pairs.
+
+        ``pes`` broadcasts against ``local_ids``; padding slots (local
+        ids at or past the owning PE's shard size) come back as -1.
+        """
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        pes = np.broadcast_to(np.asarray(pes, dtype=np.int64), local_ids.shape)
+        valid = local_ids < self.vertices_on_pe[pes]
+        out = np.full(local_ids.shape, -1, dtype=np.int64)
+        flat_idx = self._pe_offsets[pes[valid]] + local_ids[valid]
+        out[valid] = self._flat_global[flat_idx]
+        return out
+
+    def block_vertices_many(self, pes: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+        """Global ids of every vertex slot in aligned ``(pe, block)`` pairs.
+
+        Shape: (len(blocks), vertices_per_block); -1 marks padding.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        locals_2d = (
+            blocks[:, None] * self.vertices_per_block
+            + np.arange(self.vertices_per_block, dtype=np.int64)[None, :]
+        )
+        return self.globals_of_many(
+            np.asarray(pes, dtype=np.int64)[:, None], locals_2d
+        )

@@ -56,6 +56,8 @@ class MessageQueue:
             else:
                 self._head += take
         self._size -= taken
+        if len(dest_parts) == 1:
+            return dest_parts[0], val_parts[0]
         return np.concatenate(dest_parts), np.concatenate(val_parts)
 
 
@@ -163,9 +165,273 @@ class PendingWork:
             remaining -= taken
             if remaining <= 0:
                 break
+        if len(out_v) == 1:
+            return out_v[0], out_a[0], out_s[0], out_e[0]
         return (
             np.concatenate(out_v),
             np.concatenate(out_a),
             np.concatenate(out_s),
             np.concatenate(out_e),
         )
+
+
+def _ragged_arange(starts: np.ndarray, counts: np.ndarray, total: int) -> np.ndarray:
+    """Concatenated ``[starts[i], starts[i] + counts[i])`` index ranges."""
+    cum_excl = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - cum_excl, counts)
+
+
+class PooledMessageQueue:
+    """Every PE's message FIFO in one structure with batched drains.
+
+    Functionally equivalent to ``num_pes`` independent
+    :class:`MessageQueue` instances, but producers push one PE-sorted
+    batch per quantum and the consumer drains all PEs in a single
+    vectorized pop.  ``pop_all`` returns messages in PE-major order with
+    FIFO order preserved within each PE -- exactly the stream the scalar
+    engine's per-PE loop produced, so reduce semantics (including
+    order-sensitive sum combines) are unchanged.
+    """
+
+    def __init__(self, num_pes: int) -> None:
+        self.num_pes = num_pes
+        #: Each batch: [dest, values, offsets (P+1), consumed (P,)].
+        self._batches: Deque[List[np.ndarray]] = deque()
+        self._sizes = np.zeros(num_pes, dtype=np.int64)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Messages queued per PE (do not mutate)."""
+        return self._sizes
+
+    @property
+    def total(self) -> int:
+        return int(self._sizes.sum())
+
+    def any(self) -> bool:
+        return bool(self._sizes.any())
+
+    def push_sorted(
+        self, pes: np.ndarray, dest: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Append one batch whose rows are sorted by ``pes`` (ascending)."""
+        n = pes.shape[0]
+        if dest.shape[0] != n or values.shape[0] != n:
+            raise SimulationError("pes, dest and values must have equal length")
+        if n == 0:
+            return
+        counts = np.bincount(pes, minlength=self.num_pes)
+        if counts.shape[0] != self.num_pes:
+            raise SimulationError("pes contains out-of-range PE ids")
+        offsets = np.zeros(self.num_pes + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        self._batches.append(
+            [dest, values, offsets, np.zeros(self.num_pes, dtype=np.int64)]
+        )
+        self._sizes += counts
+
+    def pop_all(
+        self, budget: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pop up to ``budget`` messages *per PE*.
+
+        Returns ``(pes, dest, values)`` in PE-major order, FIFO within
+        each PE.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if budget <= 0 or not self._sizes.any():
+            return empty, empty.copy(), np.empty(0)
+        remaining = np.minimum(self._sizes, budget)
+        pe_parts: List[np.ndarray] = []
+        dest_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        pe_ids = np.arange(self.num_pes, dtype=np.int64)
+        popped = np.zeros(self.num_pes, dtype=np.int64)
+        for batch in self._batches:
+            if not remaining.any():
+                break
+            dest, values, offsets, consumed = batch
+            avail = (offsets[1:] - offsets[:-1]) - consumed
+            take = np.minimum(avail, remaining)
+            total = int(take.sum())
+            if total == 0:
+                continue
+            idx = _ragged_arange(offsets[:-1] + consumed, take, total)
+            pe_parts.append(np.repeat(pe_ids, take))
+            dest_parts.append(dest[idx])
+            val_parts.append(values[idx])
+            consumed += take
+            remaining -= take
+            popped += take
+        while self._batches:
+            _, _, offsets, consumed = self._batches[0]
+            if int(consumed.sum()) != int(offsets[-1]):
+                break
+            self._batches.popleft()
+        if not pe_parts:
+            return empty, empty.copy(), np.empty(0)
+        self._sizes -= popped
+        if len(pe_parts) == 1:
+            pes, dest, values = pe_parts[0], dest_parts[0], val_parts[0]
+        else:
+            pes = np.concatenate(pe_parts)
+            dest = np.concatenate(dest_parts)
+            values = np.concatenate(val_parts)
+            order = np.argsort(pes.astype(np.uint16), kind="stable")
+            pes, dest, values = pes[order], dest[order], values[order]
+        return pes, dest, values
+
+
+class PooledPendingWork:
+    """Every PE's active buffer in one structure with batched edge pops.
+
+    Mirrors :class:`PendingWork` semantics per PE -- ``pop_edges_all``
+    gives each PE its own edge budget, takes whole entries in FIFO order
+    until the budget is hit and splits the next entry if a partial range
+    still fits, exactly as the per-PE ``pop_edges`` loop did.
+    """
+
+    def __init__(self, num_pes: int) -> None:
+        self.num_pes = num_pes
+        #: Each batch: [vertices, values, starts, ends, offsets, consumed].
+        self._batches: Deque[List[np.ndarray]] = deque()
+        self._entries = np.zeros(num_pes, dtype=np.int64)
+        self._edges = np.zeros(num_pes, dtype=np.int64)
+
+    @property
+    def entries_per_pe(self) -> np.ndarray:
+        return self._entries
+
+    @property
+    def total_entries(self) -> int:
+        return int(self._entries.sum())
+
+    @property
+    def total_edges(self) -> int:
+        return int(self._edges.sum())
+
+    def push_sorted(
+        self,
+        pes: np.ndarray,
+        vertices: np.ndarray,
+        values: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+    ) -> None:
+        """Append one batch whose rows are sorted by ``pes`` (ascending)."""
+        n = pes.shape[0]
+        if not (
+            vertices.shape[0] == values.shape[0]
+            == starts.shape[0] == ends.shape[0] == n
+        ):
+            raise SimulationError("pending-work columns must align")
+        if n == 0:
+            return
+        if (ends < starts).any():
+            raise SimulationError("edge ranges must have end >= start")
+        counts = np.bincount(pes, minlength=self.num_pes)
+        if counts.shape[0] != self.num_pes:
+            raise SimulationError("pes contains out-of-range PE ids")
+        offsets = np.zeros(self.num_pes + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        starts = np.array(starts, dtype=np.int64)  # private: splits mutate it
+        ends = np.asarray(ends, dtype=np.int64)
+        self._batches.append(
+            [
+                np.asarray(vertices, dtype=np.int64),
+                np.asarray(values, dtype=np.float64),
+                starts,
+                ends,
+                offsets,
+                np.zeros(self.num_pes, dtype=np.int64),
+            ]
+        )
+        self._entries += counts
+        np.add.at(self._edges, pes, ends - starts)
+
+    def pop_edges_all(
+        self, budget: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pop work totalling at most ``budget`` edges *per PE*.
+
+        Returns ``(pes, vertices, values, starts, ends)`` in PE-major
+        order, FIFO within each PE, splitting a PE's last entry when a
+        partial edge range still fits its budget.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if budget <= 0 or not self._entries.any():
+            return empty, empty.copy(), np.empty(0), empty.copy(), empty.copy()
+        remaining = np.full(self.num_pes, budget, dtype=np.int64)
+        parts: List[Tuple[np.ndarray, ...]] = []
+        pe_ids = np.arange(self.num_pes, dtype=np.int64)
+        popped_entries = np.zeros(self.num_pes, dtype=np.int64)
+        popped_edges = np.zeros(self.num_pes, dtype=np.int64)
+        for batch in self._batches:
+            if not remaining.any():
+                break
+            vertices, values, starts, ends, offsets, consumed = batch
+            lo = offsets[:-1] + consumed
+            hi = offsets[1:]
+            live = (lo < hi) & (remaining > 0)
+            if not live.any():
+                continue
+            cs = np.cumsum(ends - starts)
+            base = np.where(lo > 0, cs[lo - 1], 0)
+            pos = np.searchsorted(cs, base + remaining, side="right")
+            pos = np.where(live, np.minimum(pos, hi), lo)
+            full_counts = pos - lo
+            taken_full = np.where(pos > lo, cs[pos - 1] - base, 0)
+            leftover = remaining - taken_full
+            total_full = int(full_counts.sum())
+            if total_full:
+                idx = _ragged_arange(lo, full_counts, total_full)
+                parts.append(
+                    (
+                        np.repeat(pe_ids, full_counts),
+                        vertices[idx],
+                        values[idx],
+                        starts[idx],
+                        ends[idx],
+                    )
+                )
+            split = live & (leftover > 0) & (pos < hi)
+            if split.any():
+                split_pes = np.flatnonzero(split)
+                rows = pos[split_pes]
+                take = leftover[split_pes]
+                parts.append(
+                    (
+                        split_pes.astype(np.int64),
+                        vertices[rows],
+                        values[rows],
+                        starts[rows].copy(),
+                        starts[rows] + take,
+                    )
+                )
+                starts[rows] += take
+            consumed += full_counts
+            edge_taken = taken_full + np.where(split, leftover, 0)
+            popped_entries += full_counts
+            popped_edges += edge_taken
+            remaining -= edge_taken
+        while self._batches:
+            _, _, _, _, offsets, consumed = self._batches[0]
+            if int(consumed.sum()) != int(offsets[-1]):
+                break
+            self._batches.popleft()
+        if not parts:
+            return empty, empty.copy(), np.empty(0), empty.copy(), empty.copy()
+        self._entries -= popped_entries
+        self._edges -= popped_edges
+        if len(parts) == 1:
+            pes, vertices, values, starts, ends = parts[0]
+        else:
+            pes = np.concatenate([p[0] for p in parts])
+            vertices = np.concatenate([p[1] for p in parts])
+            values = np.concatenate([p[2] for p in parts])
+            starts = np.concatenate([p[3] for p in parts])
+            ends = np.concatenate([p[4] for p in parts])
+            order = np.argsort(pes.astype(np.uint16), kind="stable")
+            pes, vertices, values = pes[order], vertices[order], values[order]
+            starts, ends = starts[order], ends[order]
+        return pes, vertices, values, starts, ends

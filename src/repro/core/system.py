@@ -59,6 +59,11 @@ class NovaSystem:
         graph: the input graph in CSR form.
         placement: either a prebuilt :class:`VertexPlacement` or a
             strategy name ("random" is the paper's default, Section V).
+        engine: "vectorized" (default, the flat-batched hot path) or
+            "scalar" (the per-PE-loop golden reference in
+            :mod:`repro.core.engine_scalar`).  The two are bit-identical;
+            the scalar engine exists for equivalence testing and as the
+            perf baseline.
     """
 
     def __init__(
@@ -67,12 +72,23 @@ class NovaSystem:
         graph: CSRGraph,
         placement: Union[str, VertexPlacement] = "random",
         seed: int = 1,
+        engine: str = "vectorized",
     ) -> None:
         self.config = config
         self.graph = graph
         if isinstance(placement, str):
             placement = make_placement(placement, graph, config.num_pes, seed=seed)
         self.placement = placement
+        if engine == "vectorized":
+            self._engine_cls = NovaEngine
+        elif engine == "scalar":
+            from repro.core.engine_scalar import ScalarNovaEngine
+
+            self._engine_cls = ScalarNovaEngine
+        else:
+            raise ConfigError(
+                f"unknown engine {engine!r}; expected vectorized or scalar"
+            )
 
     def run(
         self,
@@ -99,7 +115,7 @@ class NovaSystem:
             if isinstance(workload, str)
             else workload
         )
-        engine = NovaEngine(
+        engine = self._engine_cls(
             self.config,
             self.graph,
             program,

@@ -37,6 +37,16 @@ class CollectOutcome:
     wasteful_blocks: int  # blocks read that held no active vertex
 
 
+@dataclass
+class BatchCollectOutcome:
+    """Result of scanning selected superblocks across many PEs at once."""
+
+    active_blocks: np.ndarray  # flat local block ids, grouped by PE row
+    active_rows: np.ndarray  # index into the ``pes`` argument, per block
+    blocks_read: np.ndarray  # (len(pes),) blocks transferred per PE
+    wasteful_blocks: np.ndarray  # (len(pes),) inactive blocks read per PE
+
+
 class TrackerModule:
     """Superblock-granularity active-block tracking for every PE."""
 
@@ -91,6 +101,10 @@ class TrackerModule:
     def any_work(self) -> bool:
         return bool(self.counters.any())
 
+    def work_mask(self) -> np.ndarray:
+        """Per-PE boolean mask of PEs with at least one tracked block."""
+        return self.counters.any(axis=1)
+
     def select_superblocks(self, pe: int, max_count: int) -> np.ndarray:
         """Up to ``max_count`` non-empty superblocks in cursor rotation.
 
@@ -144,6 +158,93 @@ class TrackerModule:
             active_blocks=active_blocks,
             blocks_read=blocks_read,
             wasteful_blocks=wasteful,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched retrieval across PEs (the vectorized engine's VMU path)
+    # ------------------------------------------------------------------
+
+    def select_superblocks_many(
+        self, pes: np.ndarray, max_counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run :meth:`select_superblocks` for many PEs in one pass.
+
+        ``pes`` must be ascending and ``max_counts`` aligned with it.
+        Returns ``(rows, superblocks)`` flat arrays grouped by row (index
+        into ``pes``) with each row's superblocks in its cursor-rotation
+        order -- exactly the per-PE scalar selection, including the
+        cursor updates.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if pes.shape[0] == 0:
+            return empty, empty.copy()
+        rows_mat = self.counters[pes]
+        r, sb = np.nonzero(rows_mat)
+        if r.shape[0] == 0:
+            return empty, empty.copy()
+        n_rows = pes.shape[0]
+        counts = np.bincount(r, minlength=n_rows)
+        row_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        pos = np.arange(r.shape[0], dtype=np.int64) - row_start[r]
+        below_cursor = sb < self._cursor[pes[r]]
+        pivot = np.bincount(r[below_cursor], minlength=n_rows)
+        rank = (pos - pivot[r]) % counts[r]
+        chosen = rank < max_counts[r]
+        r_c, sb_c, rank_c = r[chosen], sb[chosen], rank[chosen]
+        order = np.lexsort((rank_c, r_c))
+        r_c, sb_c, rank_c = r_c[order], sb_c[order], rank_c[order]
+        n_chosen = np.minimum(counts, max_counts)
+        last = rank_c == n_chosen[r_c] - 1
+        num_superblocks = self.counters.shape[1]
+        self._cursor[pes[r_c[last]]] = (sb_c[last] + 1) % num_superblocks
+        return r_c, sb_c
+
+    def collect_many(
+        self, pes: np.ndarray, rows: np.ndarray, superblocks: np.ndarray
+    ) -> BatchCollectOutcome:
+        """Run :meth:`collect` for many PEs in one pass.
+
+        ``rows`` maps each superblock to its index in ``pes`` (as
+        returned by :meth:`select_superblocks_many`).  Active blocks come
+        back grouped by row with each row's blocks in scalar-collect
+        order: selection order across superblocks, ascending within one.
+        """
+        n_rows = pes.shape[0]
+        if superblocks.shape[0] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            zeros = np.zeros(n_rows, dtype=np.int64)
+            return BatchCollectOutcome(empty, empty.copy(), zeros, zeros.copy())
+        dim = self.superblock_dim
+        pe_per_sb = pes[rows]
+        base = superblocks[:, None] * dim + np.arange(dim, dtype=np.int64)[None, :]
+        in_range = base < self.layout.blocks_per_pe
+        pe_2d = np.broadcast_to(pe_per_sb[:, None], base.shape)
+        counted = np.zeros_like(in_range)
+        counted[in_range] = self.block_counted[pe_2d[in_range], base[in_range]]
+        per_sb = counted.sum(axis=1)
+        if (per_sb != self.counters[pe_per_sb, superblocks]).any():
+            raise SimulationError("tracker counters diverged from bitmap")
+        has_any = per_sb > 0
+        last_counted = np.where(
+            has_any, dim - 1 - np.argmax(counted[:, ::-1], axis=1), -1
+        )
+        chunks_needed = np.where(
+            has_any, (last_counted // self.chunk_blocks) + 1, 0
+        )
+        limit = np.minimum(chunks_needed * self.chunk_blocks, in_range.sum(axis=1))
+        blocks_read = np.zeros(n_rows, dtype=np.int64)
+        np.add.at(blocks_read, rows, limit)
+        active_per_row = np.zeros(n_rows, dtype=np.int64)
+        np.add.at(active_per_row, rows, per_sb)
+        active_blocks = base[counted]
+        active_rows = np.repeat(rows, per_sb)
+        self.block_counted[np.repeat(pe_per_sb, per_sb), active_blocks] = False
+        self.counters[pe_per_sb, superblocks] = 0
+        return BatchCollectOutcome(
+            active_blocks=active_blocks,
+            active_rows=active_rows,
+            blocks_read=blocks_read,
+            wasteful_blocks=blocks_read - active_per_row,
         )
 
     # ------------------------------------------------------------------

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable
 
+import numpy as np
+
 from repro.errors import ConfigError, SimulationError
 from repro.memory.spec import MemorySpec
 
@@ -135,6 +137,172 @@ class BandwidthChannel:
         if elapsed_seconds <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / elapsed_seconds)
+
+
+class BandwidthChannelArray:
+    """A bank of identical channels with flat-array charge accounting.
+
+    Functionally equivalent to ``count`` independent
+    :class:`BandwidthChannel` instances of the same spec (one per PE or
+    per GPN), but charges arrive as ``(index, nbytes)`` arrays so the
+    engine's per-quantum hot path needs no Python-level loop over
+    channels.  Atom rounding is applied elementwise -- each array entry
+    corresponds to what was one scalar ``charge_*`` call, so totals and
+    service times match the scalar channels bit for bit.
+    """
+
+    _RR, _SR, _RW, _SW = range(4)
+
+    def __init__(self, spec: MemorySpec, count: int) -> None:
+        if count <= 0:
+            raise ConfigError(f"{spec.name}: channel count must be positive")
+        self.spec = spec
+        self.count = count
+        self.useful_read_bytes = np.zeros(count, dtype=np.int64)
+        self.wasteful_read_bytes = np.zeros(count, dtype=np.int64)
+        self.write_bytes = np.zeros(count, dtype=np.int64)
+        #: Per-quantum charges: rows are random-read, sequential-read,
+        #: random-write, sequential-write.
+        self._quantum = np.zeros((4, count), dtype=np.float64)
+        self.busy_seconds = np.zeros(count, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Bulk charge paths
+    # ------------------------------------------------------------------
+
+    def charge_read_many(
+        self,
+        idx: np.ndarray,
+        nbytes: np.ndarray,
+        *,
+        sequential: bool = False,
+        useful: bool = True,
+    ) -> None:
+        """Charge one read per ``(idx[i], nbytes[i])`` pair.
+
+        Each pair is rounded up to whole atoms independently, exactly as
+        ``count`` separate :meth:`BandwidthChannel.charge_read` calls
+        would be; zero-byte entries are skipped.
+        """
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        if (nbytes < 0).any():
+            raise SimulationError("cannot charge a negative read")
+        mask = nbytes > 0
+        if not mask.any():
+            return
+        idx = np.asarray(idx, dtype=np.int64)[mask]
+        nbytes = self.spec.round_up(nbytes[mask])
+        totals = self.useful_read_bytes if useful else self.wasteful_read_bytes
+        np.add.at(totals, idx, nbytes)
+        row = self._SR if sequential else self._RR
+        np.add.at(self._quantum[row], idx, nbytes.astype(np.float64))
+
+    def charge_write_many(
+        self, idx: np.ndarray, nbytes: np.ndarray, *, sequential: bool = False
+    ) -> None:
+        """Charge one write per ``(idx[i], nbytes[i])`` pair."""
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        if (nbytes < 0).any():
+            raise SimulationError("cannot charge a negative write")
+        mask = nbytes > 0
+        if not mask.any():
+            return
+        idx = np.asarray(idx, dtype=np.int64)[mask]
+        nbytes = self.spec.round_up(nbytes[mask])
+        np.add.at(self.write_bytes, idx, nbytes)
+        row = self._SW if sequential else self._RW
+        np.add.at(self._quantum[row], idx, nbytes.astype(np.float64))
+
+    # ------------------------------------------------------------------
+    # Scalar charge paths (cold paths, e.g. the FIFO spilling ablation)
+    # ------------------------------------------------------------------
+
+    def charge_read_at(
+        self, i: int, nbytes: int, *, sequential: bool = False, useful: bool = True
+    ) -> None:
+        if nbytes < 0:
+            raise SimulationError("cannot charge a negative read")
+        if nbytes == 0:
+            return
+        nbytes = self.spec.round_up(nbytes)
+        if useful:
+            self.useful_read_bytes[i] += nbytes
+        else:
+            self.wasteful_read_bytes[i] += nbytes
+        self._quantum[self._SR if sequential else self._RR, i] += nbytes
+
+    def charge_write_at(
+        self, i: int, nbytes: int, *, sequential: bool = False
+    ) -> None:
+        if nbytes < 0:
+            raise SimulationError("cannot charge a negative write")
+        if nbytes == 0:
+            return
+        nbytes = self.spec.round_up(nbytes)
+        self.write_bytes[i] += nbytes
+        self._quantum[self._SW if sequential else self._RW, i] += nbytes
+
+    # ------------------------------------------------------------------
+    # Quantum accounting
+    # ------------------------------------------------------------------
+
+    def service_times(self) -> np.ndarray:
+        """Per-channel service time for the current quantum's charges."""
+        read = (
+            self._quantum[self._RR] / self.spec.random_bandwidth
+            + self._quantum[self._SR] / self.spec.sequential_bandwidth
+        )
+        write = (
+            self._quantum[self._RW] / self.spec.random_bandwidth
+            + self._quantum[self._SW] / self.spec.sequential_bandwidth
+        )
+        if self.spec.duplex:
+            return np.maximum(read, write)
+        return read + write
+
+    def max_service_time(self) -> float:
+        return float(self.service_times().max())
+
+    def end_quantum(self, quantum_seconds: float) -> None:
+        service = self.service_times()
+        worst = float(service.max())
+        if worst > quantum_seconds + 1e-15:
+            raise SimulationError(
+                f"{self.spec.name}: service time {worst:.3e}s exceeds "
+                f"quantum {quantum_seconds:.3e}s; the engine must size the "
+                "quantum to the slowest resource"
+            )
+        self.busy_seconds += service
+        self._quantum[:] = 0.0
+
+    def utilizations(self, elapsed_seconds: float) -> np.ndarray:
+        if elapsed_seconds <= 0:
+            return np.zeros(self.count)
+        return np.minimum(1.0, self.busy_seconds / elapsed_seconds)
+
+    # ------------------------------------------------------------------
+    # Lifetime totals
+    # ------------------------------------------------------------------
+
+    @property
+    def total_useful_read_bytes(self) -> int:
+        return int(self.useful_read_bytes.sum())
+
+    @property
+    def total_wasteful_read_bytes(self) -> int:
+        return int(self.wasteful_read_bytes.sum())
+
+    @property
+    def total_write_bytes(self) -> int:
+        return int(self.write_bytes.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.total_useful_read_bytes
+            + self.total_wasteful_read_bytes
+            + self.total_write_bytes
+        )
 
 
 class ChannelGroup:

@@ -1,0 +1,37 @@
+"""Process-parallel sweep execution with a content-addressed run cache.
+
+The simulator's experiments (scaling curves, sensitivity sweeps,
+multi-source harness runs) are embarrassingly parallel: every
+(config, graph, workload, source) combination is an independent
+simulation.  This subsystem runs such sweeps across a
+:class:`concurrent.futures.ProcessPoolExecutor` worker pool and caches
+each completed :class:`~repro.core.metrics.RunResult` on disk, keyed by
+a digest of everything that determines the outcome -- so re-invoking a
+benchmark suite recomputes nothing that already ran.
+
+Environment knobs:
+
+- ``REPRO_WORKERS``: worker-process count (default: ``os.cpu_count()``).
+- ``REPRO_CACHE_DIR``: cache root (default ``~/.cache/repro-nova``).
+- ``REPRO_CACHE_MAX_BYTES``: if set, prune least-recently-used entries
+  past this size after each sweep.
+
+Public entry points: :class:`~repro.runner.sweep.SweepRunner`,
+:class:`~repro.runner.spec.RunSpec`, :class:`~repro.runner.spec.GraphSpec`.
+"""
+
+from repro.runner.spec import GraphSpec, RunSpec
+from repro.runner.cache import RunCache, default_cache_dir, graph_digest, spec_key
+from repro.runner.sweep import SweepRunner, SweepStats, execute_spec
+
+__all__ = [
+    "GraphSpec",
+    "RunSpec",
+    "RunCache",
+    "SweepRunner",
+    "SweepStats",
+    "default_cache_dir",
+    "execute_spec",
+    "graph_digest",
+    "spec_key",
+]

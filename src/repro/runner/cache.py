@@ -1,0 +1,196 @@
+"""Content-addressed on-disk cache of completed simulation runs.
+
+Every cache entry is one pickled :class:`~repro.core.metrics.RunResult`
+stored under a SHA-256 key that digests everything determining the run's
+outcome: the cache schema version, the package version (simulator
+semantics can change between PRs), the system kind, the full config (as
+a dataclass field dict), the graph's actual CSR arrays, the workload and
+its kwargs, the source, the placement, and the quantum quota.  Any
+change to any input yields a different key; stale entries are never
+returned, only orphaned.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` -- two-level fan-out keeps
+directories small on large sweeps.  Files are written to a temp name and
+``os.replace``d, so concurrent writers (worker pools, parallel pytest)
+can never expose a torn entry.  Each file carries a magic tag and a
+payload digest; a corrupt or truncated entry fails verification, is
+unlinked, and reads as a miss (the run is recomputed).
+
+Eviction is explicit: :meth:`RunCache.prune` drops least-recently-used
+entries past a byte budget (``REPRO_CACHE_MAX_BYTES`` wires it into
+:class:`~repro.runner.sweep.SweepRunner`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Optional
+
+from repro.core.metrics import RunResult
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import VertexPlacement
+from repro.runner.spec import GraphSpec, RunSpec
+
+#: Bump when the digest recipe or entry format changes.
+CACHE_SCHEMA = 1
+_MAGIC = b"RNC1"
+
+
+def default_cache_dir() -> str:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-nova``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-nova")
+
+
+def graph_digest(graph: CSRGraph) -> str:
+    """SHA-256 over the graph's CSR arrays (shape- and weight-aware)."""
+    h = hashlib.sha256()
+    h.update(f"v={graph.num_vertices};e={graph.num_edges};".encode())
+    h.update(graph.row_ptr.tobytes())
+    h.update(graph.col_idx.tobytes())
+    if graph.has_weights:
+        h.update(graph.weights.tobytes())
+    return h.hexdigest()
+
+
+def _config_token(config) -> str:
+    if config is None:
+        return "default"
+    if dataclasses.is_dataclass(config):
+        return f"{type(config).__name__}:{dataclasses.asdict(config)!r}"
+    return f"{type(config).__name__}:{config!r}"
+
+
+def _placement_token(placement, placement_seed: int) -> str:
+    if isinstance(placement, VertexPlacement):
+        h = hashlib.sha256(placement.owner.tobytes())
+        return f"placement:{placement.strategy}:{h.hexdigest()}"
+    return f"strategy:{placement}:seed={placement_seed}"
+
+
+def spec_key(spec: RunSpec) -> str:
+    """The content-addressed cache key for one run spec.
+
+    The graph contributes through its built arrays, so a
+    :class:`GraphSpec` recipe and the :class:`CSRGraph` it produces map
+    to the same entry.
+    """
+    import repro
+
+    graph = spec.resolve_graph()
+    kwargs = sorted(spec.workload_kwargs.items())
+    parts = [
+        f"schema={CACHE_SCHEMA}",
+        f"version={repro.__version__}",
+        f"system={spec.system}",
+        f"workload={spec.workload}",
+        f"kwargs={kwargs!r}",
+        f"source={spec.source!r}",
+        f"max_quanta={spec.max_quanta}",
+        f"config={_config_token(spec.config)}",
+        f"graph={graph_digest(graph)}",
+        f"{_placement_token(spec.placement, spec.placement_seed)}",
+    ]
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+class RunCache:
+    """A directory of verified, atomically written run results."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def load(self, key: str) -> Optional[RunResult]:
+        """Return the cached result, or ``None`` on miss or corruption.
+
+        Corrupt entries (bad magic, digest mismatch, unpicklable
+        payload) are unlinked so the recomputed result can replace them.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+        except OSError:
+            return None
+        try:
+            magic, digest, payload = blob[:4], blob[4:36], blob[36:]
+            if magic != _MAGIC or len(digest) != 32:
+                raise ValueError("bad header")
+            if hashlib.sha256(payload).digest() != digest:
+                raise ValueError("payload digest mismatch")
+            result = pickle.loads(payload)
+            if not isinstance(result, RunResult):
+                raise ValueError("unexpected payload type")
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        os.utime(path)  # LRU touch for prune()
+        return result
+
+    def store(self, key: str, result: RunResult) -> str:
+        """Atomically persist one result; returns the entry path."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self):
+        """Yield ``(path, size_bytes, mtime)`` for every cache entry."""
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(".pkl") or name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                yield path, stat.st_size, stat.st_mtime
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self.entries())
+
+    def prune(self, max_bytes: int) -> int:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        Returns the number of entries removed.
+        """
+        items = sorted(self.entries(), key=lambda item: item[2])
+        total = sum(size for _, size, _ in items)
+        removed = 0
+        for path, size, _ in items:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed

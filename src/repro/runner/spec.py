@@ -1,0 +1,105 @@
+"""Declarative descriptions of a single simulation run.
+
+A :class:`RunSpec` captures everything that determines one simulation's
+outcome: the system kind and its config, the graph, the workload and its
+kwargs, the source, the placement, and the quantum quota.  Specs are
+plain data so they can be pickled to worker processes and digested into
+cache keys.
+
+Graphs can be given two ways:
+
+- an in-memory :class:`~repro.graph.csr.CSRGraph` (the parent builds it
+  once and workers receive a pickled copy), or
+- a :class:`GraphSpec` recipe (workers rebuild it from the generator
+  seed -- cheaper to ship than the arrays, and memoized per process).
+
+Either way the cache key is computed from the *built* graph's arrays,
+so a recipe and the graph it builds hit the same cache entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import VertexPlacement
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A reproducible recipe for a graph.
+
+    ``spec`` uses the CLI's specifier syntax (``rmat:14:16``,
+    ``urand:100000:3000000``, ``suite:twitter``, or a file path -- see
+    :func:`repro.cli.build_graph`).  ``scale`` applies to ``suite:``
+    graphs only (the Table III stand-ins are scale-parameterized).
+    """
+
+    spec: str
+    seed: int = 42
+    scale: Optional[float] = None
+    weighted: bool = False
+    symmetrized: bool = False
+    weight_seed: int = 7
+
+    def build(self) -> CSRGraph:
+        """Materialize the graph (memoized per process)."""
+        cached = _GRAPH_MEMO.get(self)
+        if cached is not None:
+            return cached
+        if self.spec.startswith("suite:"):
+            from repro.graph import suites
+
+            name = self.spec.partition(":")[2]
+            if self.scale is not None:
+                graph = suites.build_graph(name, scale=self.scale)
+            else:
+                graph = suites.build_graph(name)
+        else:
+            if self.scale is not None:
+                raise ConfigError(
+                    "GraphSpec.scale only applies to suite: graphs"
+                )
+            from repro.cli import build_graph
+
+            graph = build_graph(self.spec, seed=self.seed)
+        if self.symmetrized:
+            graph = graph.symmetrized()
+        if self.weighted and not graph.has_weights:
+            from repro.graph.generators import with_uniform_weights
+
+            graph = with_uniform_weights(graph, seed=self.weight_seed)
+        _GRAPH_MEMO[self] = graph
+        return graph
+
+
+#: Per-process memo of built graphs (GraphSpec is frozen and hashable).
+_GRAPH_MEMO: Dict[GraphSpec, CSRGraph] = {}
+
+
+@dataclass
+class RunSpec:
+    """One independent simulation: system + config + graph + workload.
+
+    ``config`` is the system's own config object (``NovaConfig``,
+    ``PolyGraphConfig``, or ``LigraConfig``); ``None`` means the
+    system's default.  ``placement`` (NOVA only) is a strategy name or
+    a prebuilt :class:`VertexPlacement`.
+    """
+
+    workload: str
+    graph: Union[GraphSpec, CSRGraph]
+    config: Any = None
+    system: str = "nova"
+    source: Optional[int] = None
+    placement: Union[str, VertexPlacement] = "random"
+    placement_seed: int = 1
+    max_quanta: int = 5_000_000
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def resolve_graph(self) -> CSRGraph:
+        if isinstance(self.graph, GraphSpec):
+            return self.graph.build()
+        return self.graph

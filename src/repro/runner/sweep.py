@@ -1,0 +1,166 @@
+"""Execute independent simulations across a process pool, cache-first.
+
+:class:`SweepRunner` takes a list of :class:`~repro.runner.spec.RunSpec`
+and returns their :class:`~repro.core.metrics.RunResult` in order:
+
+1. every spec's cache key is computed (a digest of config + graph
+   arrays + workload + source + code version, see
+   :mod:`repro.runner.cache`);
+2. cached results are loaded and counted as *hits*;
+3. the remaining unique keys are computed -- inline when one worker
+   suffices, otherwise fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor` -- and stored.
+
+Workers are forked, so in-memory graphs are inherited copy-on-write and
+:class:`~repro.runner.spec.GraphSpec` recipes hit each worker's own
+build memo.  Simulations are deterministic, so a cache hit is
+bit-identical to recomputing.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import RunResult
+from repro.errors import ConfigError
+from repro.runner.cache import RunCache, spec_key
+from repro.runner.spec import RunSpec
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one simulation to completion (the worker entry point)."""
+    graph = spec.resolve_graph()
+    if spec.system == "nova":
+        from repro.core.system import NovaSystem
+        from repro.sim.config import scaled_config
+
+        config = spec.config if spec.config is not None else scaled_config()
+        system = NovaSystem(
+            config, graph, placement=spec.placement, seed=spec.placement_seed
+        )
+        return system.run(
+            spec.workload,
+            source=spec.source,
+            max_quanta=spec.max_quanta,
+            **spec.workload_kwargs,
+        )
+    if spec.system == "polygraph":
+        from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
+
+        config = spec.config if spec.config is not None else PolyGraphConfig()
+        return PolyGraphSystem(config, graph).run(
+            spec.workload, source=spec.source, **spec.workload_kwargs
+        )
+    if spec.system == "ligra":
+        from repro.baselines.ligra import LigraConfig, LigraModel
+
+        config = spec.config if spec.config is not None else LigraConfig()
+        return LigraModel(config, graph).run(
+            spec.workload, source=spec.source, **spec.workload_kwargs
+        )
+    raise ConfigError(
+        f"unknown system {spec.system!r}; expected nova, polygraph, or ligra"
+    )
+
+
+def _default_workers() -> int:
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepStats:
+    """Accounting for one :meth:`SweepRunner.run` invocation."""
+
+    total: int = 0
+    hits: int = 0
+    computed: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total} runs: {self.hits} cached, {self.computed} computed"
+        )
+
+
+class SweepRunner:
+    """Run independent simulations with caching and process parallelism.
+
+    Args:
+        workers: worker-process count; ``None`` reads ``REPRO_WORKERS``
+            and falls back to ``os.cpu_count()``.  ``1`` runs inline.
+        cache_dir: cache root; ``None`` uses
+            :func:`~repro.runner.cache.default_cache_dir`.
+        use_cache: set ``False`` to always recompute (and not store).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.workers = workers if workers is not None else _default_workers()
+        if self.workers < 1:
+            raise ConfigError("workers must be at least 1")
+        self.cache = RunCache(cache_dir) if use_cache else None
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        results, _ = self.run([spec])
+        return results[0]
+
+    def run(
+        self, specs: Sequence[RunSpec]
+    ) -> Tuple[List[RunResult], SweepStats]:
+        """Execute ``specs``; returns results in input order plus stats.
+
+        Identical specs (same cache key) are computed once even with
+        caching disabled.
+        """
+        stats = SweepStats(total=len(specs))
+        keys = [spec_key(spec) for spec in specs]
+        resolved: Dict[str, RunResult] = {}
+        if self.cache is not None:
+            for key in dict.fromkeys(keys):
+                cached = self.cache.load(key)
+                if cached is not None:
+                    resolved[key] = cached
+        stats.hits = sum(1 for key in keys if key in resolved)
+
+        todo: Dict[str, RunSpec] = {}
+        for key, spec in zip(keys, specs):
+            if key not in resolved and key not in todo:
+                todo[key] = spec
+        stats.computed = len(todo)
+        if todo:
+            resolved.update(self._execute(todo))
+            if self.cache is not None:
+                for key in todo:
+                    self.cache.store(key, resolved[key])
+                max_bytes = os.environ.get("REPRO_CACHE_MAX_BYTES")
+                if max_bytes:
+                    self.cache.prune(int(max_bytes))
+        return [resolved[key] for key in keys], stats
+
+    def _execute(self, todo: Dict[str, RunSpec]) -> Dict[str, RunResult]:
+        items = list(todo.items())
+        if self.workers == 1 or len(items) == 1:
+            return {key: execute_spec(spec) for key, spec in items}
+        # Fork keeps parent-built graphs shared copy-on-write and is the
+        # only start method that needs no spawn-safe __main__ guard in
+        # callers (pytest, notebooks).
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        pool_size = min(self.workers, len(items))
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=context
+        ) as pool:
+            results = pool.map(
+                execute_spec, [spec for _, spec in items]
+            )
+            return {key: result for (key, _), result in zip(items, results)}

@@ -18,6 +18,8 @@ time and exposes it in cycles and seconds.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigError, SimulationError
 
 
@@ -42,6 +44,21 @@ class ResourcePool:
             raise SimulationError(f"{self.name}: negative op charge")
         self._quantum_ops += ops
         self.total_ops += ops
+
+    def charge_many(self, ops) -> None:
+        """Charge a whole array of op counts in one call.
+
+        Equivalent to one :meth:`charge` per element (the counts are
+        integers, so float summation is exact).
+        """
+        ops = np.asarray(ops)
+        if ops.size == 0:
+            return
+        if (ops < 0).any():
+            raise SimulationError(f"{self.name}: negative op charge")
+        total = float(ops.sum())
+        self._quantum_ops += total
+        self.total_ops += total
 
     def quantum_service_time(self) -> float:
         return self._quantum_ops / self.rate_per_second

@@ -1,0 +1,137 @@
+"""Content-addressed run cache: key semantics and entry integrity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import rmat, with_uniform_weights
+from repro.runner.cache import RunCache, graph_digest, spec_key
+from repro.runner.spec import GraphSpec, RunSpec
+from repro.runner.sweep import execute_spec
+from repro.sim.config import scaled_config
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(9, 8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_config(num_gpns=1, scale=1.0 / 1024.0)
+
+
+def bfs_spec(graph, config, **overrides):
+    defaults = dict(config=config, source=0)
+    defaults.update(overrides)
+    return RunSpec("bfs", graph, **defaults)
+
+
+class TestSpecKey:
+    def test_key_is_deterministic(self, graph, config):
+        assert spec_key(bfs_spec(graph, config)) == spec_key(
+            bfs_spec(graph, config)
+        )
+
+    def test_key_changes_with_config(self, graph, config):
+        base = spec_key(bfs_spec(graph, config))
+        tweaked = config.with_updates(cache_bytes_per_pe=config.cache_bytes_per_pe * 2)
+        assert spec_key(bfs_spec(graph, tweaked)) != base
+
+    def test_key_changes_with_graph_content(self, graph, config):
+        base = spec_key(bfs_spec(graph, config))
+        other = rmat(9, 8, seed=6)
+        assert spec_key(bfs_spec(other, config)) != base
+        weighted = with_uniform_weights(graph, seed=7)
+        assert spec_key(bfs_spec(weighted, config)) != base
+
+    def test_key_changes_with_workload_and_kwargs(self, graph, config):
+        base = spec_key(bfs_spec(graph, config))
+        assert spec_key(
+            RunSpec("sssp", graph, config=config, source=0)
+        ) != base
+        pr = RunSpec("pr", graph, config=config)
+        pr_longer = RunSpec(
+            "pr", graph, config=config, workload_kwargs={"max_supersteps": 9}
+        )
+        assert spec_key(pr) != spec_key(pr_longer)
+
+    def test_key_changes_with_source_and_placement(self, graph, config):
+        base = spec_key(bfs_spec(graph, config))
+        assert spec_key(bfs_spec(graph, config, source=1)) != base
+        assert (
+            spec_key(bfs_spec(graph, config, placement="locality")) != base
+        )
+        assert spec_key(bfs_spec(graph, config, placement_seed=2)) != base
+
+    def test_graphspec_and_built_graph_share_a_key(self, config):
+        recipe = GraphSpec("suite:road", scale=1.0 / 1024.0)
+        built = recipe.build()
+        by_recipe = spec_key(RunSpec("bfs", recipe, config=config, source=0))
+        by_graph = spec_key(RunSpec("bfs", built, config=config, source=0))
+        assert by_recipe == by_graph
+
+    def test_graph_digest_covers_weights(self, graph):
+        assert graph_digest(graph) != graph_digest(
+            with_uniform_weights(graph, seed=7)
+        )
+
+
+class TestRunCache:
+    def test_roundtrip_is_identical(self, tmp_path, graph, config):
+        spec = bfs_spec(graph, config)
+        result = execute_spec(spec)
+        cache = RunCache(str(tmp_path))
+        key = spec_key(spec)
+        assert cache.load(key) is None
+        cache.store(key, result)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.elapsed_seconds == result.elapsed_seconds
+        assert loaded.quanta == result.quanta
+        assert np.array_equal(loaded.result, result.result)
+        assert loaded.traffic == result.traffic
+
+    def test_corrupt_entry_is_unlinked_and_misses(self, tmp_path, graph, config):
+        spec = bfs_spec(graph, config)
+        cache = RunCache(str(tmp_path))
+        key = spec_key(spec)
+        path = cache.store(key, execute_spec(spec))
+
+        with open(path, "r+b") as f:
+            f.seek(40)
+            f.write(b"\xff\xff\xff\xff")
+        assert cache.load(key) is None
+        assert not os.path.exists(path)
+
+        path = cache.store(key, execute_spec(spec))
+        with open(path, "wb") as f:
+            f.write(b"not a cache entry")
+        assert cache.load(key) is None
+        assert not os.path.exists(path)
+
+        # A truncated header is also a miss, not a crash.
+        path = cache.store(key, execute_spec(spec))
+        with open(path, "r+b") as f:
+            f.truncate(10)
+        assert cache.load(key) is None
+
+    def test_prune_drops_lru_entries(self, tmp_path, graph, config):
+        cache = RunCache(str(tmp_path))
+        result = execute_spec(bfs_spec(graph, config))
+        keys = [f"{i:02x}" + "0" * 62 for i in range(4)]
+        paths = [cache.store(key, result) for key in keys]
+        # Make entry 0 oldest, entry 3 newest.
+        for age, path in enumerate(paths):
+            os.utime(path, (1000 + age, 1000 + age))
+        entry_bytes = os.path.getsize(paths[0])
+        removed = cache.prune(2 * entry_bytes)
+        assert removed == 2
+        assert not os.path.exists(paths[0])
+        assert not os.path.exists(paths[1])
+        assert os.path.exists(paths[2])
+        assert os.path.exists(paths[3])
+        assert cache.total_bytes() <= 2 * entry_bytes

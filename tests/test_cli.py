@@ -113,3 +113,16 @@ class TestCommands:
     def test_error_path(self, capsys):
         assert main(["run", "--graph", "nope:1"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_sweep(self, tmp_path, capsys):
+        args = ["sweep", "--graph", "rmat:9:8", "--workloads", "bfs,pr",
+                "--gpns", "1,2", "--sources", "2", "--workers", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "6 runs: 0 cached, 6 computed" in first
+        # Same sweep again: everything resolves from the cache.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "6 runs: 6 cached, 0 computed" in second
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]

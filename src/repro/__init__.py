@@ -31,6 +31,7 @@ from repro.errors import (
 from repro.graph.csr import CSRGraph
 from repro.core.system import NovaSystem
 from repro.core.metrics import RunResult
+from repro.obs import ObsConfig
 from repro.sim.config import NovaConfig, paper_config, scaled_config
 from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
 from repro.baselines.ligra import LigraConfig, LigraModel
@@ -49,6 +50,7 @@ __all__ = [
     "NovaSystem",
     "RunResult",
     "NovaConfig",
+    "ObsConfig",
     "paper_config",
     "scaled_config",
     "PolyGraphConfig",

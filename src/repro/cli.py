@@ -5,6 +5,8 @@ Commands:
 - ``run``       simulate a workload on NOVA / PolyGraph / Ligra
 - ``sweep``     run a (workload x GPN-count x source) sweep through the
   cached process-parallel runner (see :mod:`repro.runner`)
+- ``profile``   run one instrumented NOVA simulation and print a
+  bottleneck-attribution report (see :mod:`repro.obs`)
 - ``generate``  build a synthetic graph and save it
 - ``info``      print the system configuration (Table II) and tracker sizing
 - ``resources`` print Table IV terascale requirements
@@ -203,6 +205,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import BottleneckReport, ObsConfig, make_recorder, trace_span
+
+    graph = build_graph(args.graph, seed=args.seed)
+    workload = args.workload
+    if workload == "sssp" and not graph.has_weights:
+        graph = with_uniform_weights(graph, seed=args.seed)
+    if workload == "cc":
+        graph = graph.symmetrized()
+
+    source: Optional[int] = None
+    if workload not in ("cc", "pr"):
+        source = (
+            int(np.argmax(graph.out_degrees()))
+            if args.source is None
+            else args.source
+        )
+    kwargs = {}
+    if workload == "pr":
+        kwargs["max_supersteps"] = args.pr_supersteps
+
+    obs = ObsConfig(
+        timeline=True,
+        timeline_capacity=args.timeline_capacity,
+        phases=not args.no_phases,
+        phase_sample_every=args.phase_every,
+    )
+    recorder = make_recorder(obs)
+    config = scaled_config(num_gpns=args.gpns, scale=args.scale)
+    system = NovaSystem(
+        config, graph, placement=args.placement, engine=args.engine
+    )
+    print(system.describe())
+    with trace_span("cli.profile", workload=workload, graph=args.graph):
+        run = system.run(workload, source=source, recorder=recorder, **kwargs)
+    print(run.describe())
+    print()
+    report = BottleneckReport.from_timeline(run.timeline)
+    print(report.render())
+    profiler = recorder.phase_profiler
+    if profiler is not None:
+        print()
+        print(profiler.render())
+    if args.json:
+        payload = {
+            "report": report.to_dict(),
+            "timeline": run.timeline,
+            "phases": profiler.to_dict() if profiler is not None else None,
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = build_graph(args.kind, seed=args.seed)
     if args.weights:
@@ -329,6 +388,36 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute every run and store nothing")
     sweep.set_defaults(func=_cmd_sweep)
+
+    prof = sub.add_parser(
+        "profile",
+        help="run one instrumented NOVA simulation and attribute its time",
+    )
+    prof.add_argument("--workload", choices=("bfs", "cc", "sssp", "pr", "bc"),
+                      default="bfs")
+    prof.add_argument("--graph", default="rmat:12:8",
+                      help="graph specifier (see --help header)")
+    prof.add_argument("--gpns", type=int, default=1)
+    prof.add_argument("--scale", type=float, default=1 / 256,
+                      help="capacity scale vs Table II")
+    prof.add_argument("--placement", default="random",
+                      choices=("interleave", "random", "load_balanced",
+                               "locality"))
+    prof.add_argument("--engine", default="vectorized",
+                      choices=("vectorized", "scalar"))
+    prof.add_argument("--source", type=int, default=None,
+                      help="source vertex (default: highest out-degree)")
+    prof.add_argument("--pr-supersteps", type=int, default=10)
+    prof.add_argument("--seed", type=int, default=42)
+    prof.add_argument("--timeline-capacity", type=int, default=4096,
+                      help="ring-buffer quanta kept in the timeline")
+    prof.add_argument("--phase-every", type=int, default=16,
+                      help="sample wall-time one quantum in every N")
+    prof.add_argument("--no-phases", action="store_true",
+                      help="skip wall-clock phase profiling")
+    prof.add_argument("--json", default="repro_profile.json",
+                      help="JSON export path ('' to skip)")
+    prof.set_defaults(func=_cmd_profile)
 
     gen = sub.add_parser("generate", help="build and save a graph")
     gen.add_argument("--kind", required=True, help="graph specifier")

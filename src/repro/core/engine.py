@@ -59,6 +59,12 @@ from repro.network.fabric import (
     IdealFabric,
     PointToPointFabric,
 )
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    QuantumObservation,
+    timed_call,
+)
 from repro.sim.config import NovaConfig
 from repro.sim.engine import QuantumClock, ResourcePool
 from repro.sim.stats import StatGroup
@@ -123,6 +129,7 @@ class NovaEngine:
         source: Optional[int] = None,
         max_quanta: int = 5_000_000,
         trace: bool = False,
+        recorder: Optional[MetricsRecorder] = None,
     ) -> None:
         program.check_graph(graph)
         self.config = config
@@ -188,6 +195,11 @@ class NovaEngine:
 
         self.trace = TraceRecorder() if trace else None
         self._trace_prev = (0, 0, 0)
+
+        #: Metrics recorder; the null default keeps the per-quantum cost
+        #: at a single branch (see repro.obs).
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self._obs_on = self.obs.enabled
 
         # Counters (mirrored into stats at the end).
         self._edges_traversed = 0
@@ -466,6 +478,8 @@ class NovaEngine:
             bottleneck = "latency"
         if self.trace is not None:
             self._record_trace(start, duration, bottleneck, service)
+        if self._obs_on:
+            self._observe_quantum(services, duration, bottleneck)
         self.hbm.end_quantum(duration)
         self.ddr.end_quantum(duration)
         for pool in self.reduce_pool:
@@ -474,6 +488,35 @@ class NovaEngine:
             pool.end_quantum(duration)
         self.fabric.record(traffic)
         self._deliver()
+
+    def _observe_quantum(
+        self, services: dict, duration: float, bottleneck: str
+    ) -> None:
+        """Feed the metrics recorder (called before resources reset)."""
+        self.obs.on_quantum(
+            QuantumObservation(
+                index=self.clock.quanta - 1,
+                duration_seconds=duration,
+                bottleneck=bottleneck,
+                hbm_util=self.hbm.quantum_utilizations(duration),
+                ddr_util=self.ddr.quantum_utilizations(duration),
+                reduce_fu_util=np.array(
+                    [p.quantum_utilization(duration) for p in self.reduce_pool]
+                ),
+                propagate_fu_util=np.array(
+                    [p.quantum_utilization(duration) for p in self.propagate_pool]
+                ),
+                fabric_util=services["fabric"] / duration if duration > 0 else 0.0,
+                messages_drained=self.inbox_pool.popped,
+                coalesced=self._coalesced,
+                spilled=self._activations,
+                prefetch_hits=self.tracker.prefetch_hits,
+                prefetch_misses=self.tracker.prefetch_misses,
+                inbox_backlog=self.inbox_pool.total,
+                buffer_occupancy=self.pending_pool.total_entries,
+                tracked_blocks=int(self.tracker.counters.sum()),
+            )
+        )
 
     def _record_trace(
         self, start: float, duration: float, bottleneck: str, service: float
@@ -528,17 +571,25 @@ class NovaEngine:
         return self._build_result()
 
     def _run_async(self) -> None:
+        prof = self.obs.phase_profiler
         self._inject_active(np.unique(self.program.initial_active(self.state)))
         while self._messages_pending() or self._propagation_pending():
             self._check_quota()
             prop_graph = self.program.propagation_graph(self.state)
             traffic = np.zeros((self.config.num_pes, self.config.num_pes))
-            self._mpu_phase()
-            self._vmu_phase(prop_graph)
-            self._mgu_phase(prop_graph, traffic)
-            self._close_quantum(traffic)
+            if prof is not None and prof.should_sample(self.clock.quanta):
+                timed_call(prof, "mpu", self._mpu_phase)
+                timed_call(prof, "vmu", self._vmu_phase, prop_graph)
+                timed_call(prof, "mgu", self._mgu_phase, prop_graph, traffic)
+                timed_call(prof, "close", self._close_quantum, traffic)
+            else:
+                self._mpu_phase()
+                self._vmu_phase(prop_graph)
+                self._mgu_phase(prop_graph, traffic)
+                self._close_quantum(traffic)
 
     def _run_bsp(self) -> None:
+        prof = self.obs.phase_profiler
         supersteps = 0
         active = np.unique(self.program.initial_active(self.state))
         while active.shape[0]:
@@ -548,15 +599,24 @@ class NovaEngine:
                 self._check_quota()
                 prop_graph = self.program.propagation_graph(self.state)
                 traffic = np.zeros((self.config.num_pes, self.config.num_pes))
-                self._vmu_phase(prop_graph)
-                self._mgu_phase(prop_graph, traffic)
-                self._close_quantum(traffic)
+                if prof is not None and prof.should_sample(self.clock.quanta):
+                    timed_call(prof, "vmu", self._vmu_phase, prop_graph)
+                    timed_call(prof, "mgu", self._mgu_phase, prop_graph, traffic)
+                    timed_call(prof, "close", self._close_quantum, traffic)
+                else:
+                    self._vmu_phase(prop_graph)
+                    self._mgu_phase(prop_graph, traffic)
+                    self._close_quantum(traffic)
             # Message processing (blue block), strictly afterwards.
             while self._messages_pending():
                 self._check_quota()
                 traffic = np.zeros((self.config.num_pes, self.config.num_pes))
-                self._mpu_phase()
-                self._close_quantum(traffic)
+                if prof is not None and prof.should_sample(self.clock.quanta):
+                    timed_call(prof, "mpu", self._mpu_phase)
+                    timed_call(prof, "close", self._close_quantum, traffic)
+                else:
+                    self._mpu_phase()
+                    self._close_quantum(traffic)
             active = np.unique(self.program.superstep_end(self.state))
             supersteps += 1
         self.stats.set("supersteps", supersteps)
@@ -612,6 +672,10 @@ class NovaEngine:
         cache.set("hits", self.cache.lifetime_hits)
         cache.set("misses", self.cache.lifetime_misses)
         cache.set("writebacks", self.cache.lifetime_writebacks)
+        timeline = None
+        if self._obs_on:
+            self.obs.publish(stats.child("obs"))
+            timeline = self.obs.timeline_dict()
         return RunResult(
             workload=self.program.name,
             system="nova",
@@ -631,4 +695,5 @@ class NovaEngine:
             traffic=traffic,
             utilization=utilization,
             stats=stats,
+            timeline=timeline,
         )

@@ -32,6 +32,12 @@ from repro.core.queues import MessageQueue, PendingWork
 from repro.core.tracker import TrackerModule
 from repro.memory.cache import CacheArray
 from repro.memory.channel import BandwidthChannel
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    QuantumObservation,
+    timed_call,
+)
 from repro.sim.config import NovaConfig
 from repro.sim.engine import QuantumClock
 from repro.sim.stats import StatGroup
@@ -51,6 +57,7 @@ class ScalarNovaEngine:
         source: Optional[int] = None,
         max_quanta: int = 5_000_000,
         trace: bool = False,
+        recorder: Optional[MetricsRecorder] = None,
     ) -> None:
         program.check_graph(graph)
         self.config = config
@@ -106,6 +113,11 @@ class ScalarNovaEngine:
 
         self.trace = TraceRecorder() if trace else None
         self._trace_prev = (0, 0, 0)
+
+        #: Metrics recorder; the null default keeps the per-quantum cost
+        #: at a single branch (see repro.obs).
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self._obs_on = self.obs.enabled
 
         # Counters (mirrored into stats at the end).
         self._edges_traversed = 0
@@ -375,6 +387,8 @@ class ScalarNovaEngine:
             bottleneck = "latency"
         if self.trace is not None:
             self._record_trace(start, duration, bottleneck, service)
+        if self._obs_on:
+            self._observe_quantum(services, duration, bottleneck)
         for channel in self.hbm:
             channel.end_quantum(duration)
         for channel in self.ddr:
@@ -385,6 +399,39 @@ class ScalarNovaEngine:
             pool.end_quantum(duration)
         self.fabric.record(traffic)
         self._deliver()
+
+    def _observe_quantum(
+        self, services: dict, duration: float, bottleneck: str
+    ) -> None:
+        """Feed the metrics recorder (called before resources reset)."""
+        self.obs.on_quantum(
+            QuantumObservation(
+                index=self.clock.quanta - 1,
+                duration_seconds=duration,
+                bottleneck=bottleneck,
+                hbm_util=np.array(
+                    [c.quantum_utilization(duration) for c in self.hbm]
+                ),
+                ddr_util=np.array(
+                    [c.quantum_utilization(duration) for c in self.ddr]
+                ),
+                reduce_fu_util=np.array(
+                    [p.quantum_utilization(duration) for p in self.reduce_pool]
+                ),
+                propagate_fu_util=np.array(
+                    [p.quantum_utilization(duration) for p in self.propagate_pool]
+                ),
+                fabric_util=services["fabric"] / duration if duration > 0 else 0.0,
+                messages_drained=sum(q.popped for q in self.inboxes),
+                coalesced=self._coalesced,
+                spilled=self._activations,
+                prefetch_hits=self.tracker.prefetch_hits,
+                prefetch_misses=self.tracker.prefetch_misses,
+                inbox_backlog=sum(len(inbox) for inbox in self.inboxes),
+                buffer_occupancy=sum(w.entries for w in self.pending),
+                tracked_blocks=int(self.tracker.counters.sum()),
+            )
+        )
 
     def _record_trace(
         self, start: float, duration: float, bottleneck: str, service: float
@@ -439,17 +486,25 @@ class ScalarNovaEngine:
         return self._build_result()
 
     def _run_async(self) -> None:
+        prof = self.obs.phase_profiler
         self._inject_active(np.unique(self.program.initial_active(self.state)))
         while self._messages_pending() or self._propagation_pending():
             self._check_quota()
             prop_graph = self.program.propagation_graph(self.state)
             traffic = np.zeros((self.config.num_pes, self.config.num_pes))
-            self._mpu_phase()
-            self._vmu_phase(prop_graph)
-            self._mgu_phase(prop_graph, traffic)
-            self._close_quantum(traffic)
+            if prof is not None and prof.should_sample(self.clock.quanta):
+                timed_call(prof, "mpu", self._mpu_phase)
+                timed_call(prof, "vmu", self._vmu_phase, prop_graph)
+                timed_call(prof, "mgu", self._mgu_phase, prop_graph, traffic)
+                timed_call(prof, "close", self._close_quantum, traffic)
+            else:
+                self._mpu_phase()
+                self._vmu_phase(prop_graph)
+                self._mgu_phase(prop_graph, traffic)
+                self._close_quantum(traffic)
 
     def _run_bsp(self) -> None:
+        prof = self.obs.phase_profiler
         supersteps = 0
         active = np.unique(self.program.initial_active(self.state))
         while active.shape[0]:
@@ -459,15 +514,24 @@ class ScalarNovaEngine:
                 self._check_quota()
                 prop_graph = self.program.propagation_graph(self.state)
                 traffic = np.zeros((self.config.num_pes, self.config.num_pes))
-                self._vmu_phase(prop_graph)
-                self._mgu_phase(prop_graph, traffic)
-                self._close_quantum(traffic)
+                if prof is not None and prof.should_sample(self.clock.quanta):
+                    timed_call(prof, "vmu", self._vmu_phase, prop_graph)
+                    timed_call(prof, "mgu", self._mgu_phase, prop_graph, traffic)
+                    timed_call(prof, "close", self._close_quantum, traffic)
+                else:
+                    self._vmu_phase(prop_graph)
+                    self._mgu_phase(prop_graph, traffic)
+                    self._close_quantum(traffic)
             # Message processing (blue block), strictly afterwards.
             while self._messages_pending():
                 self._check_quota()
                 traffic = np.zeros((self.config.num_pes, self.config.num_pes))
-                self._mpu_phase()
-                self._close_quantum(traffic)
+                if prof is not None and prof.should_sample(self.clock.quanta):
+                    timed_call(prof, "mpu", self._mpu_phase)
+                    timed_call(prof, "close", self._close_quantum, traffic)
+                else:
+                    self._mpu_phase()
+                    self._close_quantum(traffic)
             active = np.unique(self.program.superstep_end(self.state))
             supersteps += 1
         self.stats.set("supersteps", supersteps)
@@ -523,6 +587,10 @@ class ScalarNovaEngine:
         cache.set("hits", self.cache.lifetime_hits)
         cache.set("misses", self.cache.lifetime_misses)
         cache.set("writebacks", self.cache.lifetime_writebacks)
+        timeline = None
+        if self._obs_on:
+            self.obs.publish(stats.child("obs"))
+            timeline = self.obs.timeline_dict()
         return RunResult(
             workload=self.program.name,
             system="nova",
@@ -542,4 +610,5 @@ class ScalarNovaEngine:
             traffic=traffic,
             utilization=utilization,
             stats=stats,
+            timeline=timeline,
         )

@@ -110,12 +110,23 @@ class ExperimentHarness:
     runs execute through the runner instead -- cached across harness
     invocations and fanned out over its worker pool.  (Trials over
     different sources are independent simulations, so this is exact.)
+
+    An :class:`~repro.obs.ObsConfig` instruments every trial (NOVA
+    systems only): direct runs get a fresh recorder per trial, and
+    runner-backed runs carry the config in their specs, so cached
+    results keep their timelines.
     """
 
-    def __init__(self, system, graph: CSRGraph, runner=None) -> None:
+    def __init__(self, system, graph: CSRGraph, runner=None, obs=None) -> None:
         self.system = system
         self.graph = graph
         self.runner = runner
+        self.obs = obs
+        if obs is not None and obs.active and type(system).__name__ != "NovaSystem":
+            raise ConfigError(
+                "observability instrumentation is only supported for "
+                f"NovaSystem, not {type(system).__name__}"
+            )
 
     def _run_specs(self, specs) -> List[RunResult]:
         results, _ = self.runner.run(specs)
@@ -136,6 +147,7 @@ class ExperimentHarness:
                 source=source,
                 placement=system.placement,
                 workload_kwargs=dict(workload_kwargs),
+                obs=self.obs,
             )
         if kind == "PolyGraphSystem":
             return RunSpec(
@@ -159,6 +171,14 @@ class ExperimentHarness:
             f"runner-backed harness does not know system {kind!r}"
         )
 
+    def _recorder_kwargs(self) -> dict:
+        """Per-trial recorder for direct (non-runner) runs."""
+        if self.obs is None or not self.obs.active:
+            return {}
+        from repro.obs.config import make_recorder
+
+        return {"recorder": make_recorder(self.obs)}
+
     def run_sources(
         self,
         workload: str,
@@ -180,7 +200,12 @@ class ExperimentHarness:
             return aggregate
         for source in sources:
             aggregate.runs.append(
-                self.system.run(workload, source=int(source), **workload_kwargs)
+                self.system.run(
+                    workload,
+                    source=int(source),
+                    **self._recorder_kwargs(),
+                    **workload_kwargs,
+                )
             )
         return aggregate
 
@@ -200,6 +225,8 @@ class ExperimentHarness:
             return aggregate
         for _ in range(trials):
             aggregate.runs.append(
-                self.system.run(workload, **workload_kwargs)
+                self.system.run(
+                    workload, **self._recorder_kwargs(), **workload_kwargs
+                )
             )
         return aggregate

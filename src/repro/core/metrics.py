@@ -57,6 +57,11 @@ class RunResult:
     #: Sequential-algorithm edge count, if the caller computed the oracle.
     reference_edges: Optional[int] = None
 
+    #: Per-quantum observability timeline (see
+    #: :meth:`repro.obs.recorder.TimelineRecorder.timeline_dict`), when
+    #: the run was instrumented with a timeline recorder.
+    timeline: Optional[Dict[str, object]] = None
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------

@@ -23,6 +23,9 @@ class MessageQueue:
         self._chunks: Deque[Tuple[np.ndarray, np.ndarray]] = deque()
         self._head = 0  # offset into the first chunk
         self._size = 0
+        #: Lifetime message flow counters (observability hooks).
+        self.pushed = 0
+        self.popped = 0
 
     def __len__(self) -> int:
         return self._size
@@ -34,6 +37,7 @@ class MessageQueue:
             return
         self._chunks.append((dest, values))
         self._size += dest.shape[0]
+        self.pushed += dest.shape[0]
 
     def pop(self, budget: int) -> Tuple[np.ndarray, np.ndarray]:
         """Pop up to ``budget`` messages, preserving FIFO order."""
@@ -56,6 +60,7 @@ class MessageQueue:
             else:
                 self._head += take
         self._size -= taken
+        self.popped += taken
         if len(dest_parts) == 1:
             return dest_parts[0], val_parts[0]
         return np.concatenate(dest_parts), np.concatenate(val_parts)
@@ -198,6 +203,10 @@ class PooledMessageQueue:
         #: Each batch: [dest, values, offsets (P+1), consumed (P,)].
         self._batches: Deque[List[np.ndarray]] = deque()
         self._sizes = np.zeros(num_pes, dtype=np.int64)
+        #: Lifetime message flow counters (observability hooks), summed
+        #: over all PEs -- matches the per-PE scalar queues' sums.
+        self.pushed = 0
+        self.popped = 0
 
     @property
     def sizes(self) -> np.ndarray:
@@ -229,6 +238,7 @@ class PooledMessageQueue:
             [dest, values, offsets, np.zeros(self.num_pes, dtype=np.int64)]
         )
         self._sizes += counts
+        self.pushed += n
 
     def pop_all(
         self, budget: int
@@ -271,6 +281,7 @@ class PooledMessageQueue:
         if not pe_parts:
             return empty, empty.copy(), np.empty(0)
         self._sizes -= popped
+        self.popped += int(popped.sum())
         if len(pe_parts) == 1:
             pes, dest, values = pe_parts[0], dest_parts[0], val_parts[0]
         else:

@@ -28,6 +28,7 @@ from repro.graph.partition import (
 )
 from repro.core.engine import NovaEngine
 from repro.core.metrics import RunResult
+from repro.obs.tracing import trace_span
 from repro.sim.config import NovaConfig
 from repro.workloads import get_workload
 from repro.workloads.base import VertexProgram
@@ -96,6 +97,7 @@ class NovaSystem:
         source: Optional[int] = None,
         compute_reference: bool = False,
         max_quanta: int = 5_000_000,
+        recorder=None,
         **workload_kwargs,
     ) -> RunResult:
         """Execute one workload to completion and return its results.
@@ -109,6 +111,8 @@ class NovaSystem:
                 ``RunResult.reference_edges`` (enables work-efficiency
                 metrics; costs an extra sequential execution).
             max_quanta: safety bound on simulation length.
+            recorder: a :class:`repro.obs.MetricsRecorder` to instrument
+                the run (fills ``RunResult.timeline`` when it records one).
         """
         program = (
             get_workload(workload, **workload_kwargs)
@@ -122,8 +126,16 @@ class NovaSystem:
             placement=self.placement,
             source=source,
             max_quanta=max_quanta,
+            recorder=recorder,
         )
-        run = engine.run()
+        with trace_span(
+            "nova.run",
+            workload=program.name,
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            source=source,
+        ):
+            run = engine.run()
         if compute_reference:
             expected, reference_edges = program.reference(self.graph, source)
             run.reference_edges = reference_edges

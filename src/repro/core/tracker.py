@@ -62,6 +62,11 @@ class TrackerModule:
         self._cursor = np.zeros(num_pes, dtype=np.int64)
         self.superblock_dim = layout.superblock_dim
         self.chunk_blocks = layout.config.prefetch_chunk_blocks
+        #: Lifetime prefetch counters (observability hooks): blocks that
+        #: held active vertices (hits) vs inactive blocks read while
+        #: scanning for them (misses -- the wasteful reads of Fig 10).
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
 
     # ------------------------------------------------------------------
     # Tracking (called from the MPU side)
@@ -151,6 +156,8 @@ class TrackerModule:
         blocks_read = int(limit.sum())
         active_blocks = base[counted]
         wasteful = blocks_read - int(per_sb.sum())
+        self.prefetch_hits += int(per_sb.sum())
+        self.prefetch_misses += wasteful
         # Consume: collected blocks leave the tracker.
         self.block_counted[pe, active_blocks] = False
         self.counters[pe, superblocks] = 0
@@ -238,6 +245,8 @@ class TrackerModule:
         np.add.at(active_per_row, rows, per_sb)
         active_blocks = base[counted]
         active_rows = np.repeat(rows, per_sb)
+        self.prefetch_hits += int(per_sb.sum())
+        self.prefetch_misses += int((blocks_read - active_per_row).sum())
         self.block_counted[np.repeat(pe_per_sb, per_sb), active_blocks] = False
         self.counters[pe_per_sb, superblocks] = 0
         return BatchCollectOutcome(

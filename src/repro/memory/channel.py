@@ -120,6 +120,15 @@ class BandwidthChannel:
             return max(read_time, write_time)
         return read_time + write_time
 
+    def quantum_utilization(self, quantum_seconds: float) -> float:
+        """Busy fraction of the *current* quantum (observability hook).
+
+        Must be read before :meth:`end_quantum` resets the charges.
+        """
+        if quantum_seconds <= 0:
+            return 0.0
+        return self.quantum_service_time() / quantum_seconds
+
     def end_quantum(self, quantum_seconds: float) -> None:
         """Close the quantum: record busy time and reset per-quantum state."""
         service = self.quantum_service_time()
@@ -262,6 +271,16 @@ class BandwidthChannelArray:
 
     def max_service_time(self) -> float:
         return float(self.service_times().max())
+
+    def quantum_utilizations(self, quantum_seconds: float) -> np.ndarray:
+        """Per-channel busy fraction of the *current* quantum.
+
+        Observability hook; read before :meth:`end_quantum` resets the
+        charges.
+        """
+        if quantum_seconds <= 0:
+            return np.zeros(self.count)
+        return self.service_times() / quantum_seconds
 
     def end_quantum(self, quantum_seconds: float) -> None:
         service = self.service_times()

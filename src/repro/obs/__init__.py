@@ -1,0 +1,37 @@
+"""Quantum-level observability: metrics recorders, tracing, profiling.
+
+The engines in :mod:`repro.core` expose one hook per quantum through the
+:class:`~repro.obs.recorder.MetricsRecorder` protocol.  The default
+:class:`~repro.obs.recorder.NullRecorder` costs one branch per quantum;
+:class:`~repro.obs.recorder.TimelineRecorder` keeps a ring buffer of
+per-quantum counters and utilizations;
+:class:`~repro.obs.recorder.PhaseProfiler` samples wall-time per engine
+phase.  :mod:`repro.obs.tracing` adds env-gated structured span tracing
+(``REPRO_TRACE``), and :mod:`repro.obs.profile` turns a recorded
+timeline into a bottleneck-attribution report (the ``repro profile``
+CLI subcommand).
+"""
+
+from repro.obs.config import ObsConfig, make_recorder
+from repro.obs.profile import BottleneckReport
+from repro.obs.recorder import (
+    MetricsRecorder,
+    NullRecorder,
+    PhaseProfiler,
+    QuantumObservation,
+    TimelineRecorder,
+)
+from repro.obs.tracing import trace_enabled, trace_span
+
+__all__ = [
+    "ObsConfig",
+    "make_recorder",
+    "BottleneckReport",
+    "MetricsRecorder",
+    "NullRecorder",
+    "PhaseProfiler",
+    "QuantumObservation",
+    "TimelineRecorder",
+    "trace_enabled",
+    "trace_span",
+]

@@ -1,0 +1,145 @@
+"""Bottleneck attribution from a recorded timeline.
+
+:class:`BottleneckReport` consumes the
+:meth:`~repro.obs.recorder.TimelineRecorder.timeline_dict` export and
+answers *where the simulated time went*: the share of elapsed time each
+quantum class (bandwidth- / compute- / queue-bound) and each concrete
+resource (hbm, ddr, fabric, reduce_fu, propagate_fu, latency floor)
+accounted for.  Shares come from the whole-run ``totals`` section, so
+the report stays exact even when the ring buffer wrapped.
+
+``repro profile`` renders the report as a text histogram and exports
+``report.to_dict()`` alongside the raw timeline; ``benchmarks`` consume
+the same dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.obs.recorder import BOTTLENECK_NAMES, BOUND_CLASSES, TIMELINE_SCHEMA
+
+
+def _bar(share: float, width: int) -> str:
+    filled = int(round(share * width))
+    return "#" * filled + "." * (width - filled)
+
+
+@dataclass
+class BottleneckReport:
+    """Whole-run time attribution by quantum class and resource."""
+
+    quanta: int
+    elapsed_seconds: float
+    class_seconds: Dict[str, float]
+    class_quanta: Dict[str, int]
+    resource_seconds: Dict[str, float]
+    resource_quanta: Dict[str, int]
+    counters: Dict[str, int]
+
+    @classmethod
+    def from_timeline(cls, timeline: Dict[str, object]) -> "BottleneckReport":
+        if timeline.get("schema") != TIMELINE_SCHEMA:
+            raise ConfigError(
+                f"unsupported timeline schema {timeline.get('schema')!r}; "
+                f"expected {TIMELINE_SCHEMA}"
+            )
+        totals = timeline["totals"]
+        return cls(
+            quanta=int(timeline["quanta"]),
+            elapsed_seconds=float(totals["elapsed_seconds"]),
+            class_seconds=dict(totals["class_seconds"]),
+            class_quanta=dict(totals["class_quanta"]),
+            resource_seconds=dict(totals["resource_seconds"]),
+            resource_quanta=dict(totals["resource_quanta"]),
+            counters=dict(totals["counters"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def class_shares(self) -> Dict[str, float]:
+        """Fraction of elapsed time per bound class (0.0 when idle)."""
+        if self.elapsed_seconds <= 0:
+            return {name: 0.0 for name in BOUND_CLASSES}
+        return {
+            name: self.class_seconds.get(name, 0.0) / self.elapsed_seconds
+            for name in BOUND_CLASSES
+        }
+
+    def resource_shares(self) -> Dict[str, float]:
+        if self.elapsed_seconds <= 0:
+            return {name: 0.0 for name in BOTTLENECK_NAMES}
+        return {
+            name: self.resource_seconds.get(name, 0.0) / self.elapsed_seconds
+            for name in BOTTLENECK_NAMES
+        }
+
+    @property
+    def dominant_class(self) -> str:
+        """The bound class holding the largest share of elapsed time."""
+        return max(BOUND_CLASSES, key=lambda n: self.class_seconds.get(n, 0.0))
+
+    @property
+    def dominant_resource(self) -> str:
+        return max(
+            BOTTLENECK_NAMES, key=lambda n: self.resource_seconds.get(n, 0.0)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "quanta": self.quanta,
+            "elapsed_seconds": self.elapsed_seconds,
+            "dominant_class": self.dominant_class,
+            "dominant_resource": self.dominant_resource,
+            "class_shares": self.class_shares(),
+            "class_quanta": dict(self.class_quanta),
+            "resource_shares": self.resource_shares(),
+            "resource_quanta": dict(self.resource_quanta),
+            "counters": dict(self.counters),
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, width: int = 32) -> str:
+        """Text histogram: shares per class, then per resource."""
+        if self.quanta == 0:
+            return "bottleneck report: no quanta recorded"
+        lines = [
+            f"bottleneck report: {self.quanta} quanta, "
+            f"{self.elapsed_seconds * 1e6:.1f} us simulated, dominant "
+            f"{self.dominant_class} ({self.dominant_resource})",
+            "by class:",
+        ]
+        shares = self.class_shares()
+        for name in BOUND_CLASSES:
+            share = shares[name]
+            lines.append(
+                f"  {name:>9} |{_bar(share, width)}| {share:6.1%}  "
+                f"({self.class_quanta.get(name, 0)} quanta)"
+            )
+        lines.append("by resource:")
+        rshares = self.resource_shares()
+        for name in sorted(BOTTLENECK_NAMES, key=lambda n: -rshares[n]):
+            share = rshares[name]
+            if share == 0.0 and self.resource_quanta.get(name, 0) == 0:
+                continue
+            lines.append(
+                f"  {name:>12} |{_bar(share, width)}| {share:6.1%}  "
+                f"({self.resource_quanta.get(name, 0)} quanta)"
+            )
+        counters = self.counters
+        lines.append(
+            "counters: "
+            f"drained={counters.get('messages_drained', 0):,} "
+            f"coalesced={counters.get('coalesced', 0):,} "
+            f"spilled={counters.get('spilled', 0):,} "
+            f"prefetch hits={counters.get('prefetch_hits', 0):,} "
+            f"misses={counters.get('prefetch_misses', 0):,}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Structured span tracing, gated by the ``REPRO_TRACE`` env variable.
+
+When ``REPRO_TRACE`` is unset, :func:`trace_span` is a no-op costing one
+environment lookup per span -- spans wrap coarse operations (one run,
+one sweep, one CLI command), never the per-quantum hot path.  When set,
+every span appends one JSON line::
+
+    {"name": "nova.run", "ts": 1754500000.1, "dur_ns": 81234567,
+     "pid": 4242, "workload": "bfs", ...}
+
+``REPRO_TRACE=<path>`` appends to that file; ``1`` / ``true`` /
+``stderr`` write to stderr.  Lines are self-contained JSON objects
+(JSONL), so traces from concurrent sweep workers interleave safely --
+each line is written in a single ``write`` under a process-local lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+ENV_VAR = "REPRO_TRACE"
+
+_STDERR_VALUES = ("1", "true", "stderr")
+_lock = threading.Lock()
+
+
+def trace_target() -> Optional[str]:
+    """The configured sink (path or stderr marker), or ``None`` if off."""
+    value = os.environ.get(ENV_VAR, "").strip()
+    return value or None
+
+
+def trace_enabled() -> bool:
+    return trace_target() is not None
+
+
+def _emit(record: dict) -> None:
+    target = trace_target()
+    if target is None:  # env changed mid-span: drop silently
+        return
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    with _lock:
+        if target.lower() in _STDERR_VALUES:
+            sys.stderr.write(line)
+        else:
+            with open(target, "a", encoding="utf-8") as f:
+                f.write(line)
+
+
+@contextmanager
+def trace_span(name: str, **attrs: object) -> Iterator[None]:
+    """Time a block and emit one JSONL record when tracing is enabled.
+
+    Extra keyword arguments become fields of the record (keep them
+    JSON-serializable).  Exceptions propagate; the span still emits,
+    with an ``error`` field naming the exception type.
+    """
+    if not trace_enabled():
+        yield
+        return
+    wall = time.time()
+    start = time.perf_counter_ns()
+    error: Optional[str] = None
+    try:
+        yield
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        record = {
+            "name": name,
+            "ts": wall,
+            "dur_ns": time.perf_counter_ns() - start,
+            "pid": os.getpid(),
+        }
+        if error is not None:
+            record["error"] = error
+        record.update(attrs)
+        _emit(record)

@@ -36,7 +36,7 @@ from repro.graph.partition import VertexPlacement
 from repro.runner.spec import GraphSpec, RunSpec
 
 #: Bump when the digest recipe or entry format changes.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 _MAGIC = b"RNC1"
 
 
@@ -94,6 +94,7 @@ def spec_key(spec: RunSpec) -> str:
         f"source={spec.source!r}",
         f"max_quanta={spec.max_quanta}",
         f"config={_config_token(spec.config)}",
+        f"obs={_config_token(spec.obs)}",
         f"graph={graph_digest(graph)}",
         f"{_placement_token(spec.placement, spec.placement_seed)}",
     ]

@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional, Union
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import VertexPlacement
+from repro.obs.config import ObsConfig
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,10 @@ class RunSpec:
     placement_seed: int = 1
     max_quanta: int = 5_000_000
     workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Observability instrumentation for the run (NOVA only).  Part of
+    #: the cache key: an instrumented run carries its timeline in the
+    #: cached RunResult, so it must never alias an uninstrumented entry.
+    obs: Optional[ObsConfig] = None
 
     def resolve_graph(self) -> CSRGraph:
         if isinstance(self.graph, GraphSpec):

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import RunResult
 from repro.errors import ConfigError
+from repro.obs.tracing import trace_span
 from repro.runner.cache import RunCache, spec_key
 from repro.runner.spec import RunSpec
 
@@ -35,6 +36,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
     graph = spec.resolve_graph()
     if spec.system == "nova":
         from repro.core.system import NovaSystem
+        from repro.obs.config import make_recorder
         from repro.sim.config import scaled_config
 
         config = spec.config if spec.config is not None else scaled_config()
@@ -45,7 +47,13 @@ def execute_spec(spec: RunSpec) -> RunResult:
             spec.workload,
             source=spec.source,
             max_quanta=spec.max_quanta,
+            recorder=make_recorder(spec.obs),
             **spec.workload_kwargs,
+        )
+    if spec.obs is not None and spec.obs.active:
+        raise ConfigError(
+            "observability instrumentation is only supported for the "
+            f"nova system, not {spec.system!r}"
         )
     if spec.system == "polygraph":
         from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
@@ -122,29 +130,30 @@ class SweepRunner:
         caching disabled.
         """
         stats = SweepStats(total=len(specs))
-        keys = [spec_key(spec) for spec in specs]
-        resolved: Dict[str, RunResult] = {}
-        if self.cache is not None:
-            for key in dict.fromkeys(keys):
-                cached = self.cache.load(key)
-                if cached is not None:
-                    resolved[key] = cached
-        stats.hits = sum(1 for key in keys if key in resolved)
-
-        todo: Dict[str, RunSpec] = {}
-        for key, spec in zip(keys, specs):
-            if key not in resolved and key not in todo:
-                todo[key] = spec
-        stats.computed = len(todo)
-        if todo:
-            resolved.update(self._execute(todo))
+        with trace_span("sweep.run", runs=len(specs), workers=self.workers):
+            keys = [spec_key(spec) for spec in specs]
+            resolved: Dict[str, RunResult] = {}
             if self.cache is not None:
-                for key in todo:
-                    self.cache.store(key, resolved[key])
-                max_bytes = os.environ.get("REPRO_CACHE_MAX_BYTES")
-                if max_bytes:
-                    self.cache.prune(int(max_bytes))
-        return [resolved[key] for key in keys], stats
+                for key in dict.fromkeys(keys):
+                    cached = self.cache.load(key)
+                    if cached is not None:
+                        resolved[key] = cached
+            stats.hits = sum(1 for key in keys if key in resolved)
+
+            todo: Dict[str, RunSpec] = {}
+            for key, spec in zip(keys, specs):
+                if key not in resolved and key not in todo:
+                    todo[key] = spec
+            stats.computed = len(todo)
+            if todo:
+                resolved.update(self._execute(todo))
+                if self.cache is not None:
+                    for key in todo:
+                        self.cache.store(key, resolved[key])
+                    max_bytes = os.environ.get("REPRO_CACHE_MAX_BYTES")
+                    if max_bytes:
+                        self.cache.prune(int(max_bytes))
+            return [resolved[key] for key in keys], stats
 
     def _execute(self, todo: Dict[str, RunSpec]) -> Dict[str, RunResult]:
         items = list(todo.items())

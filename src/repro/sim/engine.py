@@ -63,6 +63,15 @@ class ResourcePool:
     def quantum_service_time(self) -> float:
         return self._quantum_ops / self.rate_per_second
 
+    def quantum_utilization(self, quantum_seconds: float) -> float:
+        """Busy fraction of the *current* quantum (observability hook).
+
+        Must be read before :meth:`end_quantum` resets the charges.
+        """
+        if quantum_seconds <= 0:
+            return 0.0
+        return self.quantum_service_time() / quantum_seconds
+
     def end_quantum(self, quantum_seconds: float) -> None:
         service = self.quantum_service_time()
         if service > quantum_seconds + 1e-15:

@@ -45,6 +45,15 @@ class StatGroup:
     def get(self, name: str, default: StatValue = 0) -> StatValue:
         return self._scalars.get(name, default)
 
+    def merge(self, values: Dict[str, object]) -> None:
+        """Deep-merge a nested mapping: dict values become child groups,
+        scalars are :meth:`set` (overwriting on key collision)."""
+        for key, value in values.items():
+            if isinstance(value, dict):
+                self.child(key).merge(value)
+            else:
+                self.set(key, value)
+
     def __contains__(self, name: str) -> bool:
         return name in self._scalars or name in self._children
 

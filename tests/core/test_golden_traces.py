@@ -1,0 +1,97 @@
+"""Golden-trace regression tests.
+
+Two fixed, fully deterministic runs -- async BFS on a road grid and BSP
+PageRank on an R-MAT graph -- are checked against timeline fixtures
+committed under ``tests/fixtures/``.  Any change to engine timing,
+counter accounting, or the timeline export schema shows up as a diff
+against the golden JSON, turning silent semantic drift into a test
+failure.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python -m tests.core.test_golden_traces
+
+then review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.system import NovaSystem
+from repro.graph.generators import rmat, road_grid
+from repro.obs import ObsConfig, make_recorder
+from repro.sim.config import scaled_config
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "fixtures"
+)
+
+#: name -> (fixture file, run recipe).  Interleave placement keeps the
+#: runs free of placement RNG; the graph generators are seeded.
+GOLDEN_RUNS = {
+    "bfs_grid": "golden_bfs_grid_timeline.json",
+    "pr_rmat": "golden_pr_rmat_timeline.json",
+}
+
+
+def execute_golden(name, engine="vectorized"):
+    if name == "bfs_grid":
+        graph = road_grid(8, 8, diagonal_fraction=0.0)
+        config = scaled_config(num_gpns=1, scale=1 / 1024)
+        workload, source, kwargs = "bfs", 0, {}
+    elif name == "pr_rmat":
+        graph = rmat(9, 8, seed=5)
+        config = scaled_config(num_gpns=2, scale=1 / 1024)
+        workload, source, kwargs = "pr", None, {"max_supersteps": 3}
+    else:
+        raise KeyError(name)
+    recorder = make_recorder(ObsConfig(timeline=True, timeline_capacity=512))
+    system = NovaSystem(config, graph, placement="interleave", engine=engine)
+    return system.run(workload, source=source, recorder=recorder, **kwargs)
+
+
+def load_fixture(name):
+    with open(os.path.join(FIXTURE_DIR, GOLDEN_RUNS[name]), encoding="utf-8") as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_timeline_matches_golden_fixture(name):
+    run = execute_golden(name)
+    assert run.timeline == load_fixture(name), (
+        f"{name}: timeline drifted from the committed golden trace; if "
+        "the change is intentional, regenerate with "
+        "`python -m tests.core.test_golden_traces` and review the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_scalar_engine_matches_golden_fixture(name):
+    """The goldens pin *both* engines, not just the vectorized one."""
+    run = execute_golden(name, engine="scalar")
+    assert run.timeline == load_fixture(name)
+
+
+def test_fixture_roundtrips_exactly():
+    """json.dump/json.load is lossless for the timeline export."""
+    run = execute_golden("bfs_grid")
+    assert json.loads(json.dumps(run.timeline)) == run.timeline
+
+
+def regenerate():
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    for name, filename in GOLDEN_RUNS.items():
+        run = execute_golden(name)
+        path = os.path.join(FIXTURE_DIR, filename)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(run.timeline, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path} ({run.quanta} quanta)")
+
+
+if __name__ == "__main__":
+    regenerate()

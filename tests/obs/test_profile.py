@@ -1,0 +1,118 @@
+"""Tests for bottleneck attribution (repro.obs.profile)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.profile import BottleneckReport
+from repro.obs.recorder import QuantumObservation, TimelineRecorder
+
+
+def record_timeline(quanta):
+    """Build a timeline from (duration, bottleneck) pairs."""
+    rec = TimelineRecorder(capacity=max(4, len(quanta)))
+    for i, (duration, bottleneck) in enumerate(quanta):
+        rec.on_quantum(
+            QuantumObservation(
+                index=i,
+                duration_seconds=duration,
+                bottleneck=bottleneck,
+                hbm_util=np.zeros(1),
+                ddr_util=np.zeros(1),
+                reduce_fu_util=np.zeros(1),
+                propagate_fu_util=np.zeros(1),
+                fabric_util=0.0,
+                messages_drained=10 * (i + 1),
+                coalesced=i,
+                spilled=i,
+                prefetch_hits=i,
+                prefetch_misses=0,
+                inbox_backlog=0,
+                buffer_occupancy=0,
+                tracked_blocks=0,
+            )
+        )
+    return rec.timeline_dict()
+
+
+class TestFromTimeline:
+    def test_rejects_unknown_schema(self):
+        timeline = record_timeline([(1e-6, "hbm")])
+        timeline["schema"] = 999
+        with pytest.raises(ConfigError):
+            BottleneckReport.from_timeline(timeline)
+
+    def test_shares_sum_to_one(self):
+        report = BottleneckReport.from_timeline(
+            record_timeline([(3e-6, "hbm"), (2e-6, "reduce_fu"), (1e-6, "latency")])
+        )
+        assert sum(report.class_shares().values()) == pytest.approx(1.0)
+        assert sum(report.resource_shares().values()) == pytest.approx(1.0)
+
+    def test_dominant_attribution(self):
+        report = BottleneckReport.from_timeline(
+            record_timeline(
+                [(5e-6, "fabric"), (1e-6, "reduce_fu"), (1e-6, "latency")]
+            )
+        )
+        assert report.dominant_class == "bandwidth"
+        assert report.dominant_resource == "fabric"
+        assert report.class_shares()["bandwidth"] == pytest.approx(5 / 7)
+
+    def test_counters_carried_through(self):
+        report = BottleneckReport.from_timeline(
+            record_timeline([(1e-6, "hbm"), (1e-6, "ddr")])
+        )
+        assert report.counters["messages_drained"] == 20
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        report = BottleneckReport.from_timeline(record_timeline([(1e-6, "hbm")]))
+        d = report.to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["quanta"] == 1
+
+
+class TestRender:
+    def test_render_contains_bars_and_counters(self):
+        report = BottleneckReport.from_timeline(
+            record_timeline([(3e-6, "hbm"), (1e-6, "latency")])
+        )
+        text = report.render()
+        assert "by class:" in text
+        assert "by resource:" in text
+        assert "#" in text
+        assert "drained=20" in text
+
+    def test_render_skips_all_zero_resources(self):
+        text = BottleneckReport.from_timeline(
+            record_timeline([(1e-6, "hbm")])
+        ).render()
+        assert "ddr" not in text.split("by resource:")[1]
+
+    def test_empty_report(self):
+        empty = BottleneckReport.from_timeline(TimelineRecorder(4).timeline_dict())
+        assert "no quanta" in empty.render()
+        assert empty.class_shares() == {
+            "bandwidth": 0.0, "compute": 0.0, "queue": 0.0
+        }
+
+
+class TestEndToEnd:
+    def test_report_from_real_run(self, two_gpn_config, rmat_graph):
+        from repro.core.system import NovaSystem
+        from repro.obs import make_recorder, ObsConfig
+
+        source = int(np.argmax(rmat_graph.out_degrees()))
+        run = NovaSystem(two_gpn_config, rmat_graph, placement="random").run(
+            "bfs",
+            source=source,
+            recorder=make_recorder(ObsConfig(timeline=True)),
+        )
+        report = BottleneckReport.from_timeline(run.timeline)
+        assert report.quanta == run.quanta
+        assert report.elapsed_seconds == pytest.approx(run.elapsed_seconds)
+        assert sum(report.class_quanta.values()) == run.quanta

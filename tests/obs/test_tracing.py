@@ -1,0 +1,91 @@
+"""Tests for REPRO_TRACE-gated span tracing (repro.obs.tracing)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracing import ENV_VAR, trace_enabled, trace_span, trace_target
+
+
+def read_jsonl(path):
+    with open(path, encoding="utf-8") as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+class TestGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert trace_target() is None
+        assert trace_enabled() is False
+
+    def test_blank_value_is_disabled(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "  ")
+        assert trace_enabled() is False
+
+    def test_enabled_by_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "trace.jsonl"))
+        assert trace_enabled() is True
+
+    def test_disabled_span_writes_nothing(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with trace_span("noop"):
+            pass
+        assert not target.exists()
+
+
+class TestEmission:
+    def test_span_appends_one_json_line(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        with trace_span("unit.test", workload="bfs", gpns=2):
+            pass
+        records = read_jsonl(target)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["name"] == "unit.test"
+        assert rec["workload"] == "bfs"
+        assert rec["gpns"] == 2
+        assert rec["dur_ns"] >= 0
+        assert isinstance(rec["pid"], int)
+        assert "error" not in rec
+
+    def test_spans_append_not_truncate(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        for i in range(3):
+            with trace_span("loop", i=i):
+                pass
+        assert [r["i"] for r in read_jsonl(target)] == [0, 1, 2]
+
+    def test_exception_propagates_and_is_recorded(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        with pytest.raises(ValueError):
+            with trace_span("boom"):
+                raise ValueError("nope")
+        (rec,) = read_jsonl(target)
+        assert rec["error"] == "ValueError"
+
+    def test_stderr_sink(self, monkeypatch, capsys):
+        monkeypatch.setenv(ENV_VAR, "1")
+        with trace_span("to.stderr"):
+            pass
+        err = capsys.readouterr().err
+        rec = json.loads(err.strip().splitlines()[-1])
+        assert rec["name"] == "to.stderr"
+
+
+class TestEngineIntegration:
+    def test_nova_run_emits_span(self, monkeypatch, tmp_path, small_config, rmat_graph):
+        from repro.core.system import NovaSystem
+
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        NovaSystem(small_config, rmat_graph, placement="interleave").run(
+            "bfs", source=0
+        )
+        names = [r["name"] for r in read_jsonl(target)]
+        assert "nova.run" in names

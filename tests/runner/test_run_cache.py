@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.graph.generators import rmat, with_uniform_weights
+from repro.obs import ObsConfig
 from repro.runner.cache import RunCache, graph_digest, spec_key
 from repro.runner.spec import GraphSpec, RunSpec
 from repro.runner.sweep import execute_spec
@@ -79,6 +80,36 @@ class TestSpecKey:
             with_uniform_weights(graph, seed=7)
         )
 
+    def test_key_changes_with_obs_config(self, graph, config):
+        """An instrumented run must never alias an uninstrumented entry:
+        the cached RunResult carries (or lacks) the timeline."""
+        base = spec_key(bfs_spec(graph, config))
+        timeline = spec_key(
+            bfs_spec(graph, config, obs=ObsConfig(timeline=True))
+        )
+        assert timeline != base
+        # Every knob of the obs config participates in the key.
+        assert (
+            spec_key(
+                bfs_spec(
+                    graph,
+                    config,
+                    obs=ObsConfig(timeline=True, timeline_capacity=128),
+                )
+            )
+            != timeline
+        )
+        assert (
+            spec_key(bfs_spec(graph, config, obs=ObsConfig(phases=True)))
+            != timeline
+        )
+
+    def test_obs_key_is_deterministic(self, graph, config):
+        obs = ObsConfig(timeline=True, timeline_capacity=256)
+        assert spec_key(bfs_spec(graph, config, obs=obs)) == spec_key(
+            bfs_spec(graph, config, obs=ObsConfig(timeline=True, timeline_capacity=256))
+        )
+
 
 class TestRunCache:
     def test_roundtrip_is_identical(self, tmp_path, graph, config):
@@ -118,6 +149,40 @@ class TestRunCache:
         with open(path, "r+b") as f:
             f.truncate(10)
         assert cache.load(key) is None
+
+    def test_instrumented_and_plain_runs_cache_separately(
+        self, tmp_path, graph, config
+    ):
+        """End to end: a plain cached run is not served for a profiled
+        request (and vice versa); timelines survive the cache."""
+        from repro.runner.sweep import SweepRunner
+
+        runner = SweepRunner(workers=1, cache_dir=str(tmp_path))
+        plain = bfs_spec(graph, config)
+        profiled = bfs_spec(graph, config, obs=ObsConfig(timeline=True))
+
+        run_plain = runner.run_one(plain)
+        assert run_plain.timeline is None
+
+        results, stats = runner.run([profiled])
+        assert stats.hits == 0 and stats.computed == 1
+        assert results[0].timeline is not None
+        assert results[0].timeline["quanta"] == results[0].quanta
+
+        # Both variants now hit, each returning its own payload.
+        results, stats = runner.run([plain, profiled])
+        assert stats.hits == 2 and stats.computed == 0
+        assert results[0].timeline is None
+        assert results[1].timeline is not None
+
+    def test_obs_on_non_nova_system_is_rejected(self, graph):
+        from repro.errors import ConfigError
+
+        spec = RunSpec(
+            "bfs", graph, system="ligra", source=0, obs=ObsConfig(timeline=True)
+        )
+        with pytest.raises(ConfigError):
+            execute_spec(spec)
 
     def test_prune_drops_lru_entries(self, tmp_path, graph, config):
         cache = RunCache(str(tmp_path))

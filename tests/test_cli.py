@@ -114,6 +114,36 @@ class TestCommands:
         assert main(["run", "--graph", "nope:1"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_profile(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "profile.json")
+        assert main(["profile", "--graph", "rmat:9:8", "--workload", "bfs",
+                     "--json", out]) == 0
+        text = capsys.readouterr().out
+        assert "by class:" in text and "by resource:" in text
+        assert "phase profile" in text
+        with open(out, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert payload["timeline"]["schema"] == 1
+        assert payload["timeline"]["quanta"] > 0
+        assert payload["report"]["dominant_class"] in (
+            "bandwidth", "compute", "queue"
+        )
+        assert payload["phases"]["quanta_sampled"] > 0
+
+    def test_profile_scalar_engine_no_phases(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "profile.json")
+        assert main(["profile", "--graph", "rmat:8:8", "--workload", "pr",
+                     "--engine", "scalar", "--pr-supersteps", "3",
+                     "--no-phases", "--json", out]) == 0
+        with open(out, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert payload["phases"] is None
+        assert payload["timeline"]["quanta"] > 0
+
     def test_sweep(self, tmp_path, capsys):
         args = ["sweep", "--graph", "rmat:9:8", "--workloads", "bfs,pr",
                 "--gpns", "1,2", "--sources", "2", "--workers", "1",

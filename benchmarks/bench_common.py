@@ -40,9 +40,10 @@ from repro import (
     scaled_config,
 )
 from repro.core.metrics import RunResult
+from repro.errors import SweepFailure
 from repro.graph import suites
 from repro.graph.generators import with_uniform_weights
-from repro.runner import RunSpec, SweepRunner
+from repro.runner import RunFailure, RunSpec, SweepRunner, SweepStats
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1.0 / 256.0))
 PR_STEPS = int(os.environ.get("REPRO_BENCH_PR_STEPS", 5))
@@ -182,13 +183,21 @@ def run_nova(
     return _RUN_CACHE[key]
 
 
-def prefetch_nova(cases) -> None:
+def prefetch_nova(cases, strict: bool = True) -> Optional[SweepStats]:
     """Prime the run caches for many NOVA cases in one sweep.
 
     Each case is ``(workload, graph_name, num_gpns)`` optionally followed
     by a config-updates dict.  Uncached cases execute through the
     runner's worker pool, so a figure's whole grid computes in parallel
     before its ``run_nova`` calls resolve from cache.
+
+    Failures no longer abort the whole prefetch: completed sibling runs
+    are kept (memoized here and checkpointed in the disk cache as they
+    finish).  With ``strict`` (the default for figure gates) a
+    :class:`SweepFailure` is then raised listing every failed case;
+    ``strict=False`` leaves the failed cases to recompute (and re-raise
+    individually) in the figure's own ``run_nova`` calls.  Returns the
+    sweep's stats, or ``None`` when everything was already memoized.
     """
     keys, specs = [], []
     for case in cases:
@@ -202,9 +211,18 @@ def prefetch_nova(cases) -> None:
             continue
         keys.append(key)
         specs.append(spec)
-    if specs:
-        results, _ = _RUNNER.run(specs)
-        _RUN_CACHE.update(zip(keys, results))
+    if not specs:
+        return None
+    results, stats = _RUNNER.run(specs, on_failure="return")
+    failures = [r for r in results if isinstance(r, RunFailure)]
+    _RUN_CACHE.update(
+        (key, result)
+        for key, result in zip(keys, results)
+        if not isinstance(result, RunFailure)
+    )
+    if failures and strict:
+        raise SweepFailure(failures, stats=stats)
+    return stats
 
 
 def run_polygraph(

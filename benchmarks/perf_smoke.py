@@ -15,7 +15,10 @@ Run directly (not under pytest)::
 
 Writes quanta/sec and wall-clock numbers to
 ``benchmarks/results/BENCH_hotpath.json`` and exits nonzero if the
-speedup gate or any parity check fails.
+speedup gate or any parity check fails.  ``--check-only`` runs just the
+deterministic functional checks (run-cache round trip and sweep fault
+isolation) with no timing gates and no result files -- suitable for CI
+runners with unpredictable load.
 
 Observability overhead guard: the committed ``BENCH_hotpath.json`` from
 the pre-observability revision is loaded *before* it is overwritten and
@@ -262,7 +265,83 @@ def check_run_cache() -> dict:
     }
 
 
-def main() -> int:
+def _smoke_fail(spec):
+    raise RuntimeError("injected smoke failure")
+
+
+def check_fault_isolation() -> dict:
+    """A poisoned spec must not lose or block its sibling runs.
+
+    One always-failing spec rides with two good ones: the sweep must
+    complete both siblings, report the failure in ``SweepStats.failed``,
+    and a rerun must resolve the finished runs from the checkpointed
+    cache (hits) while recomputing nothing.
+    """
+    from repro.runner import RetryPolicy, RunFailure, register_system
+
+    register_system("__smoke_fail__", _smoke_fail)
+    graph = rmat(10, 8, seed=5)
+    config = scaled_config(num_gpns=2, scale=1.0 / 1024.0)
+    specs = [
+        RunSpec("bfs", graph, config=config, source=0),
+        RunSpec("bfs", graph, system="__smoke_fail__", config=config, source=0),
+        RunSpec("bfs", graph, config=config, source=1),
+    ]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = SweepRunner(
+            workers=1, cache_dir=cache_dir, policy=RetryPolicy(retries=0)
+        )
+        results, first = runner.run(specs, on_failure="return")
+        _, second = runner.run(specs, on_failure="return")
+    siblings_ok = (
+        first.failed == 1
+        and first.computed == 2
+        and isinstance(results[1], RunFailure)
+        and results[1].kind == "error"
+        and not isinstance(results[0], RunFailure)
+        and not isinstance(results[2], RunFailure)
+    )
+    resume_ok = second.hits == 2 and second.computed == 0 and second.failed == 1
+    return {
+        "first": str(first),
+        "second": str(second),
+        "siblings_survive": siblings_ok,
+        "resume_zero_recompute": resume_ok,
+        "ok": siblings_ok and resume_ok,
+    }
+
+
+def run_functional_checks() -> bool:
+    """Run the wall-clock-independent checks; return True on success."""
+    ok = True
+    cache_report = check_run_cache()
+    print(
+        "run cache: first pass "
+        f"[{cache_report['first']}], second pass "
+        f"[{cache_report['second']}]"
+    )
+    if not cache_report["zero_recompute"]:
+        ok = False
+    fault_report = check_fault_isolation()
+    print(
+        "fault isolation: first pass "
+        f"[{fault_report['first']}], rerun "
+        f"[{fault_report['second']}]  "
+        f"[{'ok' if fault_report['ok'] else 'FAIL'}]"
+    )
+    if not fault_report["ok"]:
+        ok = False
+    return ok
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--check-only" in argv:
+        # Functional checks only (cache round-trip + fault isolation):
+        # deterministic, so safe on loaded CI machines where the timing
+        # gates would flake.  Writes nothing.
+        return 0 if run_functional_checks() else 1
+
     config = scaled_config(num_gpns=8, scale=1.0 / 256.0)  # 64 PEs
     out_dir = os.path.join(os.path.dirname(__file__), "results")
     baseline_cases = load_committed_baseline(out_dir)
@@ -307,6 +386,16 @@ def main() -> int:
         f"[{report['run_cache']['second']}]"
     )
     if not report["run_cache"]["zero_recompute"]:
+        failed = True
+
+    report["fault_isolation"] = check_fault_isolation()
+    print(
+        "fault isolation: first pass "
+        f"[{report['fault_isolation']['first']}], rerun "
+        f"[{report['fault_isolation']['second']}]  "
+        f"[{'ok' if report['fault_isolation']['ok'] else 'FAIL'}]"
+    )
+    if not report["fault_isolation"]["ok"]:
         failed = True
 
     obs_report = check_obs_overhead(baseline_cases, timings, config)

@@ -28,11 +28,14 @@ CACHE_SWEEP_BYTES = tuple(
 @pytest.mark.benchmark(group="fig09")
 def test_fig09a_cache_size(once):
     def experiment():
-        prefetch_nova(
+        stats = prefetch_nova(
             ("bfs", name, 1, {"cache_bytes_per_pe": cache})
             for name in ("road", "twitter")
             for cache in CACHE_SWEEP_BYTES
         )
+        # Strict prefetch already raised on failure; every point of the
+        # sensitivity grid must be present before normalizing.
+        assert stats is None or stats.failed == 0
         table = {}
         for name in ("road", "twitter"):
             table[name] = [

@@ -142,7 +142,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.harness import sample_sources
-    from repro.runner import RunSpec, SweepRunner
+    from repro.obs import FAULT_COUNTERS
+    from repro.runner import (
+        RetryPolicy,
+        RunFailure,
+        RunSpec,
+        SweepCheckpoint,
+        SweepRunner,
+        spec_key,
+    )
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     known = ("bfs", "cc", "sssp", "pr", "bc")
@@ -187,28 +195,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 )
                 rows.append((workload, gpns, source))
 
+    policy = RetryPolicy.from_env()
+    if args.timeout is not None or args.retries is not None:
+        updates = {}
+        if args.timeout is not None:
+            updates["timeout_seconds"] = args.timeout
+        if args.retries is not None:
+            updates["retries"] = args.retries
+        import dataclasses
+
+        policy = dataclasses.replace(policy, **updates)
     runner = SweepRunner(
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        policy=policy,
     )
-    results, stats = runner.run(specs)
+
+    checkpoint = None
+    if runner.cache is not None:
+        keys = [spec_key(spec) for spec in specs]
+        checkpoint = SweepCheckpoint.for_keys(runner.cache.root, keys)
+        if args.resume:
+            if not checkpoint.exists():
+                raise ConfigError(
+                    "no interrupted sweep to resume (checkpoint "
+                    f"{checkpoint.sweep_id[:12]} not found); run without "
+                    "--resume to start it"
+                )
+            done = len(checkpoint.completed_keys() & set(keys))
+            print(
+                f"resuming sweep {checkpoint.sweep_id[:12]}: "
+                f"{done}/{len(set(keys))} runs already checkpointed"
+            )
+    elif args.resume:
+        raise ConfigError("--resume needs the run cache (drop --no-cache)")
+
+    results, stats = runner.run(
+        specs, on_failure="return", checkpoint=checkpoint
+    )
 
     print(f"{'workload':>8} {'gpns':>4} {'source':>8} {'time(ms)':>10} {'GTEPS':>8}")
+    failures = []
     for (workload, gpns, source), run in zip(rows, results):
         src = "-" if source is None else str(source)
+        if isinstance(run, RunFailure):
+            failures.append(run)
+            print(
+                f"{workload:>8} {gpns:>4} {src:>8} "
+                f"{'FAILED':>10} {run.kind:>8}"
+            )
+            continue
         print(
             f"{workload:>8} {gpns:>4} {src:>8} "
             f"{run.elapsed_seconds * 1e3:>10.4f} {run.gteps:>8.2f}"
         )
     print(stats)
-    return 0
+    if stats.failed or stats.retried:
+        print(FAULT_COUNTERS.render())
+        seen = set()
+        for failure in failures:
+            if failure.key in seen:
+                continue
+            seen.add(failure.key)
+            print(f"  failed: {failure.describe()}")
+    if checkpoint is not None:
+        if stats.failed:
+            print(
+                f"checkpoint kept ({checkpoint.sweep_id[:12]}); fix and "
+                "rerun with --resume to recompute only unfinished runs"
+            )
+        else:
+            checkpoint.finish()
+    return 1 if stats.failed else 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs import BottleneckReport, ObsConfig, make_recorder, trace_span
+    from repro.obs import (
+        FAULT_COUNTERS,
+        BottleneckReport,
+        ObsConfig,
+        make_recorder,
+        trace_span,
+    )
 
     graph = build_graph(args.graph, seed=args.seed)
     workload = args.workload
@@ -250,11 +321,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if profiler is not None:
         print()
         print(profiler.render())
+    # Sweep-level fault/retry/timeout accounting (nonzero only when this
+    # process also drove instrumented sweeps, e.g. via the runner API).
+    print(FAULT_COUNTERS.render())
     if args.json:
         payload = {
             "report": report.to_dict(),
             "timeline": run.timeline,
             "phases": profiler.to_dict() if profiler is not None else None,
+            "fault_counters": FAULT_COUNTERS.snapshot(),
         }
         with open(args.json, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=2)
@@ -387,6 +462,15 @@ def make_parser() -> argparse.ArgumentParser:
                             "~/.cache/repro-nova)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute every run and store nothing")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep: require its "
+                            "checkpoint and recompute only unfinished runs")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock timeout in seconds "
+                            "(default: REPRO_RUN_TIMEOUT or none)")
+    sweep.add_argument("--retries", type=int, default=None,
+                       help="extra attempts for transient failures "
+                            "(default: REPRO_RUN_RETRIES or 1)")
     sweep.set_defaults(func=_cmd_sweep)
 
     prof = sub.add_parser(

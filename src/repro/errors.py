@@ -30,3 +30,28 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A vertex program was configured or invoked incorrectly."""
+
+
+class RunTimeoutError(ReproError):
+    """A single sweep run exceeded its configured wall-clock timeout."""
+
+
+class SweepFailure(ReproError):
+    """One or more runs in a sweep ultimately failed.
+
+    Raised by :meth:`repro.runner.sweep.SweepRunner.run` (with the
+    default ``on_failure="raise"``) only *after* every sibling run has
+    completed and been flushed to the run cache -- nothing finished is
+    lost.  ``failures`` holds the structured
+    :class:`~repro.runner.fault.RunFailure` records and ``stats`` the
+    sweep's :class:`~repro.runner.sweep.SweepStats`.
+    """
+
+    def __init__(self, failures, stats=None):
+        self.failures = list(failures)
+        self.stats = stats
+        noun = "run" if len(self.failures) == 1 else "runs"
+        detail = f"; first: {self.failures[0]}" if self.failures else ""
+        super().__init__(
+            f"{len(self.failures)} sweep {noun} failed{detail}"
+        )

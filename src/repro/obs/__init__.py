@@ -7,12 +7,14 @@ The engines in :mod:`repro.core` expose one hook per quantum through the
 per-quantum counters and utilizations;
 :class:`~repro.obs.recorder.PhaseProfiler` samples wall-time per engine
 phase.  :mod:`repro.obs.tracing` adds env-gated structured span tracing
-(``REPRO_TRACE``), and :mod:`repro.obs.profile` turns a recorded
-timeline into a bottleneck-attribution report (the ``repro profile``
-CLI subcommand).
+(``REPRO_TRACE``), :mod:`repro.obs.counters` keeps the process-wide
+fault/retry counters sweeps report into (:data:`FAULT_COUNTERS`), and
+:mod:`repro.obs.profile` turns a recorded timeline into a
+bottleneck-attribution report (the ``repro profile`` CLI subcommand).
 """
 
 from repro.obs.config import ObsConfig, make_recorder
+from repro.obs.counters import FAULT_COUNTERS, CounterRegistry
 from repro.obs.profile import BottleneckReport
 from repro.obs.recorder import (
     MetricsRecorder,
@@ -21,17 +23,20 @@ from repro.obs.recorder import (
     QuantumObservation,
     TimelineRecorder,
 )
-from repro.obs.tracing import trace_enabled, trace_span
+from repro.obs.tracing import trace_enabled, trace_event, trace_span
 
 __all__ = [
     "ObsConfig",
     "make_recorder",
     "BottleneckReport",
+    "CounterRegistry",
+    "FAULT_COUNTERS",
     "MetricsRecorder",
     "NullRecorder",
     "PhaseProfiler",
     "QuantumObservation",
     "TimelineRecorder",
     "trace_enabled",
+    "trace_event",
     "trace_span",
 ]

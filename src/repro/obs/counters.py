@@ -1,0 +1,67 @@
+"""Process-wide fault and retry counters.
+
+Sweep execution is a parent-process concern (workers report outcomes
+back; the parent classifies, retries, and checkpoints), so its
+failure/retry/timeout accounting lives in one thread-safe registry
+rather than in the per-run :class:`~repro.obs.recorder.MetricsRecorder`
+timeline -- a failed run has no timeline at all.
+
+The shared :data:`FAULT_COUNTERS` registry is incremented by
+:class:`~repro.runner.sweep.SweepRunner` under ``sweep.*`` names
+(``sweep.failures``, ``sweep.retries``, ``sweep.timeouts``,
+``sweep.worker_deaths``, ``sweep.checkpoint_flushes``,
+``sweep.cache_errors``) and surfaces in ``repro sweep`` / ``repro
+profile`` output; :meth:`CounterRegistry.publish` mirrors a snapshot
+into a :class:`~repro.sim.stats.StatGroup` for callers that aggregate
+stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+
+class CounterRegistry:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to ``name`` and return the new value."""
+        with self._lock:
+            value = self._counts.get(name, 0) + int(amount)
+            self._counts[name] = value
+            return value
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+    def publish(self, stats) -> None:
+        """Mirror the current counters into a :class:`StatGroup`."""
+        stats.merge(self.snapshot())
+
+    def render(self, prefix: str = "fault counters") -> str:
+        snap = self.snapshot()
+        if not snap:
+            return f"{prefix}: none recorded"
+        body = " ".join(
+            f"{name}={value}" for name, value in sorted(snap.items())
+        )
+        return f"{prefix}: {body}"
+
+
+#: The process-wide registry sweeps report into.
+FAULT_COUNTERS = CounterRegistry()

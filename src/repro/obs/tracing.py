@@ -53,6 +53,25 @@ def _emit(record: dict) -> None:
                 f.write(line)
 
 
+def trace_event(name: str, **attrs: object) -> None:
+    """Emit one instantaneous JSONL record when tracing is enabled.
+
+    Like :func:`trace_span` but for point-in-time facts with no
+    duration -- sweep summaries, retries, failures.  A no-op (one env
+    lookup) when ``REPRO_TRACE`` is unset.
+    """
+    if not trace_enabled():
+        return
+    record = {
+        "name": name,
+        "ts": time.time(),
+        "dur_ns": 0,
+        "pid": os.getpid(),
+    }
+    record.update(attrs)
+    _emit(record)
+
+
 @contextmanager
 def trace_span(name: str, **attrs: object) -> Iterator[None]:
     """Time a block and emit one JSONL record when tracing is enabled.

@@ -137,7 +137,13 @@ class RunCache:
             except OSError:
                 pass
             return None
-        os.utime(path)  # LRU touch for prune()
+        try:
+            os.utime(path)  # LRU touch for prune()
+        except OSError:
+            # A concurrent prune() unlinked the entry between the read
+            # and the touch; the bytes are already in hand, so the
+            # loaded result is still valid.
+            pass
         return result
 
     def store(self, key: str, result: RunResult) -> str:

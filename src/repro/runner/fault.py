@@ -1,0 +1,171 @@
+"""Failure records, retry policy, and environment validation for sweeps.
+
+A sweep run can end three ways short of a result:
+
+- the spec itself raises (``kind="error"``) -- deterministic, never
+  retried;
+- the run exceeds the policy's wall-clock timeout (``kind="timeout"``);
+- the forked worker process dies mid-run -- an ``os._exit``, an OOM
+  kill, a segfault in an extension (``kind="worker-died"``).
+
+The last two, plus ``OSError`` / ``MemoryError`` (cache I/O hiccups,
+transient allocation failures), are classified *transient* and retried
+with exponential backoff up to :attr:`RetryPolicy.retries` extra
+attempts.  Whatever remains becomes a :class:`RunFailure` -- a plain
+data record the sweep returns (or wraps in
+:class:`~repro.errors.SweepFailure`) instead of aborting sibling runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError, RunTimeoutError
+
+#: Exception types worth retrying: they depend on machine state, not on
+#: the spec.  Everything else (ConfigError, ValueError, ...) is
+#: deterministic -- retrying would fail identically.
+TRANSIENT_EXCEPTIONS = (MemoryError, OSError, RunTimeoutError)
+
+#: RunFailure.kind values.
+FAILURE_KINDS = ("error", "timeout", "worker-died")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True if ``exc`` could plausibly succeed on a retry."""
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+
+
+def env_int(name: str, minimum: Optional[int] = None) -> Optional[int]:
+    """Read an integer env var, or ``None`` when unset/empty.
+
+    Raises :class:`ConfigError` naming the variable and the offending
+    value instead of leaking a bare ``ValueError`` from ``int()``.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def env_float(name: str, minimum: Optional[float] = None) -> Optional[float]:
+    """Read a float env var with the same validation as :func:`env_int`."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-run timeout and bounded exponential-backoff retry.
+
+    ``timeout_seconds`` bounds one attempt's wall clock (``None``
+    disables the watchdog); ``retries`` is the number of *extra*
+    attempts granted to transient failures, so every key executes at
+    most ``1 + retries`` times.  Retry round *n* sleeps
+    ``backoff_seconds * backoff_factor**(n-1)`` capped at
+    ``max_backoff_seconds``.
+    """
+
+    timeout_seconds: Optional[float] = None
+    retries: int = 1
+    backoff_seconds: float = 0.25
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_seconds < 0:
+            raise ConfigError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def allows_retry(self, attempts: int) -> bool:
+        """True if a key that has run ``attempts`` times may run again."""
+        return attempts < 1 + self.retries
+
+    def backoff_delay(self, round_index: int) -> float:
+        """Seconds to sleep before retry round ``round_index`` (1-based)."""
+        if round_index <= 0:
+            return 0.0
+        delay = self.backoff_seconds * self.backoff_factor ** (round_index - 1)
+        return min(self.max_backoff_seconds, delay)
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Build a policy from ``REPRO_RUN_TIMEOUT`` / ``REPRO_RUN_RETRIES``
+        / ``REPRO_RETRY_BACKOFF``, validated, defaults where unset."""
+        kwargs = {}
+        timeout = env_float("REPRO_RUN_TIMEOUT")
+        if timeout is not None:
+            if timeout <= 0:
+                raise ConfigError(
+                    f"REPRO_RUN_TIMEOUT must be positive, got {timeout:g}"
+                )
+            kwargs["timeout_seconds"] = timeout
+        retries = env_int("REPRO_RUN_RETRIES", minimum=0)
+        if retries is not None:
+            kwargs["retries"] = retries
+        backoff = env_float("REPRO_RETRY_BACKOFF", minimum=0.0)
+        if backoff is not None:
+            kwargs["backoff_seconds"] = backoff
+        return cls(**kwargs)
+
+
+@dataclass
+class RunFailure:
+    """Structured record of one sweep run that ultimately failed.
+
+    Occupies the failed spec's slot in the results list (when
+    ``on_failure="return"``) so callers can align failures with their
+    input order; also carried by :class:`~repro.errors.SweepFailure`.
+    """
+
+    key: str
+    spec: object  # the RunSpec (typed loosely: records must stay picklable)
+    kind: str  # one of FAILURE_KINDS
+    error_type: str
+    message: str
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+
+    def describe(self) -> str:
+        spec_text = ""
+        describe = getattr(self.spec, "describe", None)
+        if callable(describe):
+            spec_text = f" [{describe()}]"
+        return (
+            f"{self.kind}{spec_text}: {self.error_type}: {self.message} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

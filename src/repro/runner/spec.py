@@ -108,3 +108,22 @@ class RunSpec:
         if isinstance(self.graph, GraphSpec):
             return self.graph.build()
         return self.graph
+
+    def describe(self) -> str:
+        """One-line human summary (failure records, CLI diagnostics)."""
+        if isinstance(self.graph, GraphSpec):
+            graph = self.graph.spec
+        else:
+            graph = (
+                f"csr:v={self.graph.num_vertices}:e={self.graph.num_edges}"
+            )
+        source = "-" if self.source is None else str(self.source)
+        placement = (
+            self.placement
+            if isinstance(self.placement, str)
+            else f"prebuilt:{self.placement.strategy}"
+        )
+        return (
+            f"{self.system}/{self.workload} graph={graph} source={source} "
+            f"placement={placement}"
+        )

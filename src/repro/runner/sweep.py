@@ -9,7 +9,22 @@ and returns their :class:`~repro.core.metrics.RunResult` in order:
 2. cached results are loaded and counted as *hits*;
 3. the remaining unique keys are computed -- inline when one worker
    suffices, otherwise fanned out over a
-   :class:`concurrent.futures.ProcessPoolExecutor` -- and stored.
+   :class:`concurrent.futures.ProcessPoolExecutor` -- and each result
+   is flushed to the cache *the moment it finishes* (futures-based
+   submission, not a batch map), so an interrupted sweep resumes with
+   zero recomputation.
+
+Execution is fault-isolated: one spec that raises, times out, or kills
+its forked worker does not abort its siblings.  Failed keys yield
+structured :class:`~repro.runner.fault.RunFailure` records; transient
+failures (worker deaths, OOM, cache I/O, timeouts) are retried with
+exponential backoff per the runner's
+:class:`~repro.runner.fault.RetryPolicy`.  Suspected worker-killing
+specs are re-run in single-task isolation pools so a poisoned spec
+cannot take sibling retries down with it.  ``on_failure="raise"``
+(default) raises :class:`~repro.errors.SweepFailure` *after* every
+sibling has completed and stored; ``on_failure="return"`` places the
+``RunFailure`` records in the results list instead.
 
 Workers are forked, so in-memory graphs are inherited copy-on-write and
 :class:`~repro.runner.spec.GraphSpec` recipes hit each worker's own
@@ -20,90 +35,232 @@ bit-identical to recomputing.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.metrics import RunResult
-from repro.errors import ConfigError
-from repro.obs.tracing import trace_span
+from repro.errors import ConfigError, RunTimeoutError, SweepFailure
+from repro.obs.counters import FAULT_COUNTERS
+from repro.obs.tracing import trace_event, trace_span
 from repro.runner.cache import RunCache, spec_key
+from repro.runner.checkpoint import SweepCheckpoint
+from repro.runner.fault import RetryPolicy, RunFailure, env_int, is_transient
 from repro.runner.spec import RunSpec
+
+# ----------------------------------------------------------------------
+# System executors
+# ----------------------------------------------------------------------
+
+#: system name -> executor(spec) -> RunResult.  Forked workers inherit
+#: registrations made in the parent before the pool spawns, so tests and
+#: extensions can plug in executors without touching this module.
+_SYSTEM_EXECUTORS: Dict[str, Callable[[RunSpec], RunResult]] = {}
+
+
+def register_system(name: str, executor: Callable[[RunSpec], RunResult]) -> None:
+    """Register (or replace) the executor behind a ``RunSpec.system``."""
+    _SYSTEM_EXECUTORS[name] = executor
+
+
+def _run_nova(spec: RunSpec) -> RunResult:
+    from repro.core.system import NovaSystem
+    from repro.obs.config import make_recorder
+    from repro.sim.config import scaled_config
+
+    graph = spec.resolve_graph()
+    config = spec.config if spec.config is not None else scaled_config()
+    system = NovaSystem(
+        config, graph, placement=spec.placement, seed=spec.placement_seed
+    )
+    return system.run(
+        spec.workload,
+        source=spec.source,
+        max_quanta=spec.max_quanta,
+        recorder=make_recorder(spec.obs),
+        **spec.workload_kwargs,
+    )
+
+
+def _run_polygraph(spec: RunSpec) -> RunResult:
+    from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
+
+    config = spec.config if spec.config is not None else PolyGraphConfig()
+    return PolyGraphSystem(config, spec.resolve_graph()).run(
+        spec.workload, source=spec.source, **spec.workload_kwargs
+    )
+
+
+def _run_ligra(spec: RunSpec) -> RunResult:
+    from repro.baselines.ligra import LigraConfig, LigraModel
+
+    config = spec.config if spec.config is not None else LigraConfig()
+    return LigraModel(config, spec.resolve_graph()).run(
+        spec.workload, source=spec.source, **spec.workload_kwargs
+    )
+
+
+register_system("nova", _run_nova)
+register_system("polygraph", _run_polygraph)
+register_system("ligra", _run_ligra)
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one simulation to completion (the worker entry point)."""
-    graph = spec.resolve_graph()
-    if spec.system == "nova":
-        from repro.core.system import NovaSystem
-        from repro.obs.config import make_recorder
-        from repro.sim.config import scaled_config
-
-        config = spec.config if spec.config is not None else scaled_config()
-        system = NovaSystem(
-            config, graph, placement=spec.placement, seed=spec.placement_seed
-        )
-        return system.run(
-            spec.workload,
-            source=spec.source,
-            max_quanta=spec.max_quanta,
-            recorder=make_recorder(spec.obs),
-            **spec.workload_kwargs,
-        )
-    if spec.obs is not None and spec.obs.active:
+    if spec.system != "nova" and spec.obs is not None and spec.obs.active:
         raise ConfigError(
             "observability instrumentation is only supported for the "
             f"nova system, not {spec.system!r}"
         )
-    if spec.system == "polygraph":
-        from repro.baselines.polygraph import PolyGraphConfig, PolyGraphSystem
-
-        config = spec.config if spec.config is not None else PolyGraphConfig()
-        return PolyGraphSystem(config, graph).run(
-            spec.workload, source=spec.source, **spec.workload_kwargs
+    executor = _SYSTEM_EXECUTORS.get(spec.system)
+    if executor is None:
+        raise ConfigError(
+            f"unknown system {spec.system!r}; expected one of "
+            f"{', '.join(sorted(_SYSTEM_EXECUTORS))}"
         )
-    if spec.system == "ligra":
-        from repro.baselines.ligra import LigraConfig, LigraModel
+    return executor(spec)
 
-        config = spec.config if spec.config is not None else LigraConfig()
-        return LigraModel(config, graph).run(
-            spec.workload, source=spec.source, **spec.workload_kwargs
+
+# ----------------------------------------------------------------------
+# Worker attempt wrapper
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Outcome:
+    """Transportable result of one attempt (always picklable)."""
+
+    ok: bool
+    result: Optional[RunResult] = None
+    error_type: str = ""
+    message: str = ""
+    transient: bool = False
+    timed_out: bool = False
+    worker_died: bool = False
+    elapsed_seconds: float = 0.0
+
+
+def _execute_with_timeout(spec: RunSpec, timeout: Optional[float]) -> RunResult:
+    """Run a spec under a SIGALRM watchdog (main-thread only).
+
+    Pool workers always run tasks in their process's main thread, so
+    the alarm is available there; an inline runner invoked off the main
+    thread silently skips enforcement rather than crashing.
+    """
+    if (
+        timeout is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return execute_spec(spec)
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded {timeout:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute_spec(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt(spec: RunSpec, timeout: Optional[float]) -> _Outcome:
+    """Run one spec, converting exceptions into a structured outcome.
+
+    Exceptions are flattened to (type name, message) in the worker so
+    unpicklable exception payloads can never poison the result queue.
+    """
+    start = time.perf_counter()
+    try:
+        result = _execute_with_timeout(spec, timeout)
+    except Exception as exc:
+        return _Outcome(
+            ok=False,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            transient=is_transient(exc),
+            timed_out=isinstance(exc, RunTimeoutError),
+            elapsed_seconds=time.perf_counter() - start,
         )
-    raise ConfigError(
-        f"unknown system {spec.system!r}; expected nova, polygraph, or ligra"
+    return _Outcome(
+        ok=True, result=result, elapsed_seconds=time.perf_counter() - start
     )
 
 
+_WORKER_DIED = _Outcome(
+    ok=False,
+    error_type="BrokenProcessPool",
+    message="worker process died before returning a result",
+    transient=True,
+    worker_died=True,
+)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
 def _default_workers() -> int:
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        return max(1, int(env))
+    env = env_int("REPRO_WORKERS", minimum=1)
+    if env is not None:
+        return env
     return os.cpu_count() or 1
 
 
 @dataclass
 class SweepStats:
-    """Accounting for one :meth:`SweepRunner.run` invocation."""
+    """Accounting for one :meth:`SweepRunner.run` invocation.
+
+    ``hits`` / ``computed`` / ``failed`` partition the sweep's *unique*
+    cache keys; ``deduped`` counts the duplicate spec slots resolved by
+    aliasing a sibling's key, so ``total == hits + computed + failed +
+    deduped`` always holds.  ``retried`` counts re-executions granted to
+    transient failures (not slots).
+    """
 
     total: int = 0
     hits: int = 0
     computed: int = 0
+    failed: int = 0
+    retried: int = 0
+    deduped: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.total} runs: {self.hits} cached, {self.computed} computed"
         )
+        if self.failed:
+            text += f", {self.failed} failed"
+        if self.retried:
+            text += f", {self.retried} retried"
+        if self.deduped:
+            text += f", {self.deduped} deduped"
+        return text
 
 
 class SweepRunner:
-    """Run independent simulations with caching and process parallelism.
+    """Run independent simulations with caching, process parallelism,
+    and per-run fault isolation.
 
     Args:
         workers: worker-process count; ``None`` reads ``REPRO_WORKERS``
-            and falls back to ``os.cpu_count()``.  ``1`` runs inline.
+            and falls back to ``os.cpu_count()``.  ``1`` runs inline
+            (note: inline runs share the parent process, so a worker
+            death cannot be isolated there).
         cache_dir: cache root; ``None`` uses
             :func:`~repro.runner.cache.default_cache_dir`.
         use_cache: set ``False`` to always recompute (and not store).
+        policy: per-run timeout/retry policy; ``None`` reads
+            ``REPRO_RUN_TIMEOUT`` / ``REPRO_RUN_RETRIES`` /
+            ``REPRO_RETRY_BACKOFF`` with defaults (no timeout, one
+            retry for transient failures).
     """
 
     def __init__(
@@ -111,54 +268,233 @@ class SweepRunner:
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
+        policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.workers = workers if workers is not None else _default_workers()
         if self.workers < 1:
             raise ConfigError("workers must be at least 1")
         self.cache = RunCache(cache_dir) if use_cache else None
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
 
     def run_one(self, spec: RunSpec) -> RunResult:
         results, _ = self.run([spec])
         return results[0]
 
     def run(
-        self, specs: Sequence[RunSpec]
-    ) -> Tuple[List[RunResult], SweepStats]:
+        self,
+        specs: Sequence[RunSpec],
+        on_failure: str = "raise",
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> Tuple[List[Union[RunResult, RunFailure]], SweepStats]:
         """Execute ``specs``; returns results in input order plus stats.
 
         Identical specs (same cache key) are computed once even with
-        caching disabled.
+        caching disabled.  Completed results flush to the cache (and the
+        optional ``checkpoint`` manifest) as they finish, so sibling
+        work survives failures and interruptions.  ``on_failure``
+        selects what a non-empty failure set does after every sibling
+        completed: ``"raise"`` raises :class:`SweepFailure`,
+        ``"return"`` leaves :class:`RunFailure` records in the failed
+        slots.
         """
+        if on_failure not in ("raise", "return"):
+            raise ConfigError(
+                f"on_failure must be 'raise' or 'return', got {on_failure!r}"
+            )
+        # Validate eviction config before burning any compute.
+        max_bytes = env_int("REPRO_CACHE_MAX_BYTES", minimum=0)
         stats = SweepStats(total=len(specs))
         with trace_span("sweep.run", runs=len(specs), workers=self.workers):
             keys = [spec_key(spec) for spec in specs]
-            resolved: Dict[str, RunResult] = {}
+            unique: Dict[str, RunSpec] = {}
+            for key, spec in zip(keys, specs):
+                if key not in unique:
+                    unique[key] = spec
+            stats.deduped = len(keys) - len(unique)
+            if checkpoint is not None:
+                checkpoint.begin(total=len(unique))
+
+            resolved: Dict[str, Union[RunResult, RunFailure]] = {}
             if self.cache is not None:
-                for key in dict.fromkeys(keys):
+                for key in unique:
                     cached = self.cache.load(key)
                     if cached is not None:
                         resolved[key] = cached
-            stats.hits = sum(1 for key in keys if key in resolved)
+                        if checkpoint is not None:
+                            checkpoint.mark(key)
+            stats.hits = len(resolved)
 
-            todo: Dict[str, RunSpec] = {}
-            for key, spec in zip(keys, specs):
-                if key not in resolved and key not in todo:
-                    todo[key] = spec
-            stats.computed = len(todo)
+            todo = {
+                key: spec
+                for key, spec in unique.items()
+                if key not in resolved
+            }
             if todo:
-                resolved.update(self._execute(todo))
-                if self.cache is not None:
-                    for key in todo:
-                        self.cache.store(key, resolved[key])
-                    max_bytes = os.environ.get("REPRO_CACHE_MAX_BYTES")
-                    if max_bytes:
-                        self.cache.prune(int(max_bytes))
+                resolved.update(self._execute(todo, stats, checkpoint))
+            stats.failed = sum(
+                1 for value in resolved.values() if isinstance(value, RunFailure)
+            )
+            stats.computed = len(todo) - stats.failed
+
+            if self.cache is not None and max_bytes is not None:
+                self.cache.prune(max_bytes)
+
+            trace_event(
+                "sweep.summary",
+                total=stats.total,
+                hits=stats.hits,
+                computed=stats.computed,
+                failed=stats.failed,
+                retried=stats.retried,
+                deduped=stats.deduped,
+            )
+            failures = [
+                value
+                for value in resolved.values()
+                if isinstance(value, RunFailure)
+            ]
+            if failures and on_failure == "raise":
+                raise SweepFailure(failures, stats=stats)
             return [resolved[key] for key in keys], stats
 
-    def _execute(self, todo: Dict[str, RunSpec]) -> Dict[str, RunResult]:
-        items = list(todo.items())
-        if self.workers == 1 or len(items) == 1:
-            return {key: execute_spec(spec) for key, spec in items}
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        todo: Dict[str, RunSpec],
+        stats: SweepStats,
+        checkpoint: Optional[SweepCheckpoint],
+    ) -> Dict[str, Union[RunResult, RunFailure]]:
+        """Round-based attempt loop: submit, drain, classify, retry."""
+        policy = self.policy
+        resolved: Dict[str, Union[RunResult, RunFailure]] = {}
+        attempts: Dict[str, int] = {key: 0 for key in todo}
+        last_outcome: Dict[str, _Outcome] = {}
+        pending: Dict[str, RunSpec] = dict(todo)
+        round_index = 0
+
+        def complete(key: str, outcome: _Outcome) -> None:
+            attempts[key] += 1
+            last_outcome[key] = outcome
+            if outcome.ok:
+                resolved[key] = outcome.result
+                self._flush(key, outcome.result, checkpoint)
+                return
+            if outcome.timed_out:
+                FAULT_COUNTERS.increment("sweep.timeouts")
+            if outcome.worker_died:
+                FAULT_COUNTERS.increment("sweep.worker_deaths")
+            if outcome.transient and policy.allows_retry(attempts[key]):
+                retries[key] = todo[key]
+                stats.retried += 1
+                FAULT_COUNTERS.increment("sweep.retries")
+                trace_event(
+                    "sweep.retry",
+                    key=key,
+                    attempt=attempts[key],
+                    error=outcome.error_type,
+                )
+                return
+            failure = RunFailure(
+                key=key,
+                spec=todo[key],
+                kind=(
+                    "timeout"
+                    if outcome.timed_out
+                    else "worker-died" if outcome.worker_died else "error"
+                ),
+                error_type=outcome.error_type,
+                message=outcome.message,
+                attempts=attempts[key],
+                elapsed_seconds=outcome.elapsed_seconds,
+            )
+            resolved[key] = failure
+            FAULT_COUNTERS.increment("sweep.failures")
+            trace_event(
+                "sweep.run_failed",
+                key=key,
+                kind=failure.kind,
+                error=failure.error_type,
+                attempts=failure.attempts,
+            )
+
+        while pending:
+            if round_index:
+                delay = policy.backoff_delay(round_index)
+                if delay:
+                    time.sleep(delay)
+            retries: Dict[str, RunSpec] = {}
+            # Keys whose worker died are suspects: re-run each in its own
+            # single-task pool so a poisoned spec cannot keep breaking the
+            # shared pool and draining sibling retry budgets.
+            suspects = {
+                key
+                for key in pending
+                if last_outcome.get(key) is not None
+                and last_outcome[key].worker_died
+            }
+            with trace_span(
+                "sweep.execute", runs=len(pending), round=round_index
+            ):
+                self._run_batch(pending, suspects, complete)
+            pending = retries
+            round_index += 1
+        return resolved
+
+    def _flush(
+        self,
+        key: str,
+        result: RunResult,
+        checkpoint: Optional[SweepCheckpoint],
+    ) -> None:
+        """Checkpoint one completed run the moment it finishes."""
+        if self.cache is not None:
+            try:
+                self.cache.store(key, result)
+                FAULT_COUNTERS.increment("sweep.checkpoint_flushes")
+            except OSError:
+                # A full or flaky disk must not kill a completed run --
+                # the result is still returned, it just won't be reused.
+                FAULT_COUNTERS.increment("sweep.cache_errors")
+        if checkpoint is not None:
+            checkpoint.mark(key)
+
+    def _run_batch(
+        self,
+        batch: Dict[str, RunSpec],
+        suspects: set,
+        complete: Callable[[str, _Outcome], None],
+    ) -> None:
+        """Run one round, reporting each key's outcome as it settles."""
+        timeout = self.policy.timeout_seconds
+        pooled = [
+            (key, spec) for key, spec in batch.items() if key not in suspects
+        ]
+        if pooled:
+            if self.workers == 1:
+                # Explicit single-worker mode runs inline (no isolation
+                # from worker death, by construction).
+                for key, spec in pooled:
+                    complete(key, _attempt(spec, timeout))
+            elif len(pooled) == 1:
+                # Never run a lone leftover inline when the caller asked
+                # for process isolation: a worker-killing spec would
+                # take the parent down with it.
+                key, spec = pooled[0]
+                complete(key, self._run_isolated(spec, timeout))
+            else:
+                self._run_pooled(pooled, timeout, complete)
+        for key in suspects:
+            complete(key, self._run_isolated(batch[key], timeout))
+
+    def _run_pooled(
+        self,
+        items: List[Tuple[str, RunSpec]],
+        timeout: Optional[float],
+        complete: Callable[[str, _Outcome], None],
+    ) -> None:
         # Fork keeps parent-built graphs shared copy-on-write and is the
         # only start method that needs no spawn-safe __main__ guard in
         # callers (pytest, notebooks).
@@ -169,7 +505,42 @@ class SweepRunner:
         with ProcessPoolExecutor(
             max_workers=pool_size, mp_context=context
         ) as pool:
-            results = pool.map(
-                execute_spec, [spec for _, spec in items]
-            )
-            return {key: result for (key, _), result in zip(items, results)}
+            futures = {
+                pool.submit(_attempt, spec, timeout): key
+                for key, spec in items
+            }
+            for future in as_completed(futures):
+                key = futures[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    outcome = _WORKER_DIED
+                except Exception as exc:  # e.g. an unpicklable result
+                    outcome = _Outcome(
+                        ok=False,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        transient=is_transient(exc),
+                    )
+                complete(key, outcome)
+
+    def _run_isolated(
+        self, spec: RunSpec, timeout: Optional[float]
+    ) -> _Outcome:
+        """Re-run one worker-death suspect in a disposable one-task pool."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            future = pool.submit(_attempt, spec, timeout)
+            try:
+                return future.result()
+            except BrokenProcessPool:
+                return _WORKER_DIED
+            except Exception as exc:
+                return _Outcome(
+                    ok=False,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    transient=is_transient(exc),
+                )

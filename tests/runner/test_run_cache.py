@@ -184,6 +184,34 @@ class TestRunCache:
         with pytest.raises(ConfigError):
             execute_spec(spec)
 
+    def test_load_survives_concurrent_prune(
+        self, tmp_path, graph, config, monkeypatch
+    ):
+        """A prune() racing load() between the read and the LRU touch
+        must not turn a successfully read entry into a crash."""
+        spec = bfs_spec(graph, config)
+        cache = RunCache(str(tmp_path))
+        key = spec_key(spec)
+        result = execute_spec(spec)
+        path = cache.store(key, result)
+
+        real_utime = os.utime
+
+        def unlink_then_touch(target, *args, **kwargs):
+            # Simulate the concurrent prune winning the race: the entry
+            # vanishes after load() has the bytes but before the touch.
+            if os.path.abspath(target) == os.path.abspath(path):
+                os.unlink(path)
+            return real_utime(target, *args, **kwargs)
+
+        monkeypatch.setattr(os, "utime", unlink_then_touch)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.quanta == result.quanta
+        # The entry is gone (prune won), so the next load is a miss.
+        monkeypatch.undo()
+        assert cache.load(key) is None
+
     def test_prune_drops_lru_entries(self, tmp_path, graph, config):
         cache = RunCache(str(tmp_path))
         result = execute_spec(bfs_spec(graph, config))

@@ -57,8 +57,18 @@ def test_identical_specs_compute_once(tmp_path, graph, config):
     specs = specs_for(graph, config, sources=(0, 0, 1, 0))
     results, stats = runner.run(specs)
     assert (stats.total, stats.computed) == (4, 2)
+    # Duplicate slots are accounted as deduped, not silently absorbed:
+    # hits/computed/failed partition unique keys, deduped the rest.
+    assert stats.deduped == 2
+    assert stats.total == stats.hits + stats.computed + stats.failed + stats.deduped
+    assert "2 deduped" in str(stats)
     assert_same_run(results[0], results[1])
     assert_same_run(results[0], results[3])
+
+    # A second pass hits both unique keys and still reports the dupes.
+    _, again = runner.run(specs)
+    assert (again.hits, again.computed, again.deduped) == (2, 0, 2)
+    assert again.total == again.hits + again.computed + again.deduped
 
     # Dedupe holds with caching off, too.
     uncached = SweepRunner(workers=1, use_cache=False)
@@ -66,6 +76,7 @@ def test_identical_specs_compute_once(tmp_path, graph, config):
     _, stats = uncached.run(specs)
     assert stats.computed == 2
     assert stats.hits == 0
+    assert stats.deduped == 2
 
 
 def test_parallel_matches_inline(tmp_path, graph, config):

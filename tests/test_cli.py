@@ -123,6 +123,7 @@ class TestCommands:
         text = capsys.readouterr().out
         assert "by class:" in text and "by resource:" in text
         assert "phase profile" in text
+        assert "fault counters" in text
         with open(out, encoding="utf-8") as f:
             payload = json.load(f)
         assert payload["timeline"]["schema"] == 1
@@ -131,6 +132,7 @@ class TestCommands:
             "bandwidth", "compute", "queue"
         )
         assert payload["phases"]["quanta_sampled"] > 0
+        assert "fault_counters" in payload
 
     def test_profile_scalar_engine_no_phases(self, tmp_path, capsys):
         import json
@@ -156,3 +158,23 @@ class TestCommands:
         second = capsys.readouterr().out
         assert "6 runs: 6 cached, 0 computed" in second
         assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_sweep_resume_requires_a_checkpoint(self, tmp_path, capsys):
+        args = ["sweep", "--graph", "rmat:9:8", "--workloads", "bfs",
+                "--gpns", "1", "--sources", "1", "--workers", "1",
+                "--cache-dir", str(tmp_path)]
+        # Nothing was ever interrupted: --resume has nothing to pick up.
+        assert main(args + ["--resume"]) == 1
+        assert "no interrupted sweep to resume" in capsys.readouterr().err
+
+        # A clean sweep removes its checkpoint, so --resume still errors.
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 1
+        assert "no interrupted sweep to resume" in capsys.readouterr().err
+
+    def test_sweep_resume_rejects_no_cache(self, capsys):
+        assert main(["sweep", "--graph", "rmat:9:8", "--workloads", "bfs",
+                     "--gpns", "1", "--sources", "1", "--workers", "1",
+                     "--no-cache", "--resume"]) == 1
+        assert "--resume needs the run cache" in capsys.readouterr().err

@@ -27,6 +27,16 @@ default (uninstrumented) vectorized hot path must stay within
 ``OBS_MAX_OVERHEAD`` of the committed quanta/sec.  An instrumented
 (TimelineRecorder + PhaseProfiler) run is also timed for information,
 and the whole comparison is written to ``benchmarks/results/BENCH_obs.json``.
+
+Regression tracking: ``--against <path>`` compares this invocation's
+metrics to the rolling-median baseline kept in an append-only
+git-SHA-stamped history (:class:`repro.obs.bench_history.BenchHistory`;
+a directory resolves to ``BENCH_history.jsonl`` inside it), appends the
+fresh record, writes the rendered diff to
+``benchmarks/results/BENCH_history_diff.txt``, and exits nonzero on any
+regressed metric.  Under ``--check-only`` the compared metrics come
+from the *committed* ``BENCH_*.json`` files rather than fresh timing,
+so the verdict is deterministic on loaded CI machines.
 """
 
 from __future__ import annotations
@@ -311,6 +321,32 @@ def check_fault_isolation() -> dict:
     }
 
 
+def check_bench_history(against: str, metrics: dict, out_dir: str) -> bool:
+    """Gate ``metrics`` against the rolling-median history at ``against``.
+
+    Prints the rendered diff, mirrors it to
+    ``<out_dir>/BENCH_history_diff.txt`` (a CI artifact), and appends the
+    current record so the baseline tracks the trajectory.  Returns False
+    when any metric regressed.
+    """
+    from repro.obs import BenchHistory
+
+    history = BenchHistory.at(against)
+    verdicts = history.check(metrics)
+    diff = history.render(verdicts)
+    print(diff)
+    if not metrics:
+        print("bench history: no metrics to record (missing BENCH files?)")
+        return True
+    os.makedirs(out_dir, exist_ok=True)
+    diff_path = os.path.join(out_dir, "BENCH_history_diff.txt")
+    with open(diff_path, "w", encoding="utf-8") as f:
+        f.write(diff + "\n")
+    print(f"wrote {diff_path}")
+    history.append(metrics)
+    return not any(v.regressed for v in verdicts)
+
+
 def run_functional_checks() -> bool:
     """Run the wall-clock-independent checks; return True on success."""
     ok = True
@@ -334,16 +370,39 @@ def run_functional_checks() -> bool:
     return ok
 
 
+def parse_against(argv) -> str | None:
+    """Extract the ``--against <path>`` value from argv, if present."""
+    for i, arg in enumerate(argv):
+        if arg == "--against":
+            if i + 1 >= len(argv):
+                raise SystemExit("--against requires a path argument")
+            return argv[i + 1]
+        if arg.startswith("--against="):
+            return arg.split("=", 1)[1]
+    return None
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    against = parse_against(argv)
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
     if "--check-only" in argv:
         # Functional checks only (cache round-trip + fault isolation):
         # deterministic, so safe on loaded CI machines where the timing
-        # gates would flake.  Writes nothing.
-        return 0 if run_functional_checks() else 1
+        # gates would flake.  Writes no BENCH result files; with
+        # --against it gates the *committed* BENCH_*.json metrics
+        # against the history instead of fresh (load-sensitive) timing.
+        ok = run_functional_checks()
+        if against is not None:
+            from repro.obs.bench_history import metrics_from_bench_dir
+
+            metrics_dir = against if os.path.isdir(against) else out_dir
+            metrics = metrics_from_bench_dir(metrics_dir)
+            if not check_bench_history(against, metrics, out_dir):
+                ok = False
+        return 0 if ok else 1
 
     config = scaled_config(num_gpns=8, scale=1.0 / 256.0)  # 64 PEs
-    out_dir = os.path.join(os.path.dirname(__file__), "results")
     baseline_cases = load_committed_baseline(out_dir)
     report = {
         "config": {"num_gpns": 8, "scale": 1.0 / 256.0, "pes": 64},
@@ -411,6 +470,15 @@ def main(argv=None) -> int:
     with open(obs_path, "w", encoding="utf-8") as f:
         json.dump(obs_report, f, indent=2)
     print(f"wrote {obs_path}")
+
+    if against is not None:
+        from repro.obs.bench_history import metrics_from_reports
+
+        metrics = metrics_from_reports(
+            report["cases"], obs_report.get("cases", {})
+        )
+        if not check_bench_history(against, metrics, out_dir):
+            failed = True
     return 1 if failed else 0
 
 

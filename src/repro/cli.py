@@ -4,7 +4,11 @@ Commands:
 
 - ``run``       simulate a workload on NOVA / PolyGraph / Ligra
 - ``sweep``     run a (workload x GPN-count x source) sweep through the
-  cached process-parallel runner (see :mod:`repro.runner`)
+  cached process-parallel runner (see :mod:`repro.runner`), with a live
+  progress/ETA line on stderr
+- ``report``    aggregate a cached sweep into a cross-run bottleneck /
+  outlier report (markdown + schema-versioned JSON, see
+  :mod:`repro.obs.report`)
 - ``profile``   run one instrumented NOVA simulation and print a
   bottleneck-attribution report (see :mod:`repro.obs`)
 - ``generate``  build a synthetic graph and save it
@@ -140,17 +144,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_grid(args: argparse.Namespace):
+    """Build the (spec, row) grid shared by ``sweep`` and ``report``.
+
+    Both subcommands must resolve the *same* grid from the same
+    arguments -- ``repro report`` recomputes the sweep's cache keys to
+    read its results without re-running anything -- so the grid logic
+    lives here.  Returns ``(specs, rows)`` with rows of
+    ``(workload, gpns, source)`` aligned with the specs.
+    """
     from repro.core.harness import sample_sources
-    from repro.obs import FAULT_COUNTERS
-    from repro.runner import (
-        RetryPolicy,
-        RunFailure,
-        RunSpec,
-        SweepCheckpoint,
-        SweepRunner,
-        spec_key,
-    )
+    from repro.obs import ObsConfig
+    from repro.runner import RunSpec
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     known = ("bfs", "cc", "sssp", "pr", "bc")
@@ -161,6 +166,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
     gpn_counts = [int(g) for g in args.gpns.split(",")]
     base_graph = build_graph(args.graph, seed=args.seed)
+    obs = (
+        ObsConfig(timeline=True)
+        if getattr(args, "timeline", False)
+        else None
+    )
 
     specs = []
     rows = []  # (workload, gpns, source) aligned with specs
@@ -191,9 +201,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         source=source,
                         placement=args.placement,
                         workload_kwargs=kwargs,
+                        obs=obs,
                     )
                 )
                 rows.append((workload, gpns, source))
+    return specs, rows
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.obs import render_counts
+    from repro.runner import (
+        RetryPolicy,
+        RunFailure,
+        SweepCheckpoint,
+        SweepMonitor,
+        SweepRunner,
+        spec_key,
+    )
+
+    specs, rows = _sweep_grid(args)
 
     policy = RetryPolicy.from_env()
     if args.timeout is not None or args.retries is not None:
@@ -231,8 +257,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     elif args.resume:
         raise ConfigError("--resume needs the run cache (drop --no-cache)")
 
+    monitor = (
+        None
+        if args.no_progress
+        else SweepMonitor(stream=sys.stderr, interval_seconds=1.0)
+    )
     results, stats = runner.run(
-        specs, on_failure="return", checkpoint=checkpoint
+        specs, on_failure="return", checkpoint=checkpoint, monitor=monitor
     )
 
     print(f"{'workload':>8} {'gpns':>4} {'source':>8} {'time(ms)':>10} {'GTEPS':>8}")
@@ -252,7 +283,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     print(stats)
     if stats.failed or stats.retried:
-        print(FAULT_COUNTERS.render())
+        # Per-sweep counter deltas, not the process-cumulative registry:
+        # consecutive sweeps in one process each report their own counts.
+        print(render_counts(stats.fault_counters))
         seen = set()
         for failure in failures:
             if failure.key in seen:
@@ -268,6 +301,86 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             checkpoint.finish()
     return 1 if stats.failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        GROUPABLE_DIMS,
+        SweepReport,
+        entry_from_result,
+    )
+    from repro.runner import RunCache, SweepCheckpoint, spec_key
+
+    group_by = tuple(
+        dim.strip() for dim in args.group_by.split(",") if dim.strip()
+    )
+    for dim in group_by:
+        if dim not in GROUPABLE_DIMS:
+            raise ConfigError(
+                f"cannot group by {dim!r}; choose from "
+                f"{', '.join(GROUPABLE_DIMS)}"
+            )
+
+    specs, rows = _sweep_grid(args)
+    cache = RunCache(args.cache_dir)
+    keys = [spec_key(spec) for spec in specs]
+
+    # An interrupted sweep leaves its checkpoint manifest behind; note
+    # it so a partial report is never mistaken for a complete one.
+    checkpoint = SweepCheckpoint.for_keys(cache.root, keys)
+    if checkpoint.exists():
+        done = len(checkpoint.completed_keys() & set(keys))
+        print(
+            f"note: sweep {checkpoint.sweep_id[:12]} is incomplete "
+            f"({done}/{len(set(keys))} runs checkpointed); reporting on "
+            "what finished",
+            file=sys.stderr,
+        )
+
+    entries = []
+    seen = set()
+    found = 0
+    for spec, key, (workload, gpns, source) in zip(specs, keys, rows):
+        if key in seen:  # duplicate slots alias one cache entry
+            continue
+        seen.add(key)
+        result = cache.load(key)
+        if result is not None:
+            found += 1
+        entries.append(
+            entry_from_result(
+                key=key,
+                workload=workload,
+                graph=args.graph,
+                gpns=gpns,
+                source=source,
+                result=result,
+                pes=spec.config.num_pes if spec.config is not None else None,
+            )
+        )
+    if not found:
+        print(
+            "error: no cached runs found for this grid; run the matching "
+            "`repro sweep` first (same --graph/--workloads/--gpns/... "
+            "arguments, including --timeline)",
+            file=sys.stderr,
+        )
+        return 1
+
+    report = SweepReport(
+        entries, group_by=group_by, z_threshold=args.z_threshold
+    )
+    markdown = report.render_markdown()
+    print(markdown, end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(report.to_json())
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.md:
+        with open(args.md, "w", encoding="utf-8") as f:
+            f.write(markdown)
+        print(f"wrote {args.md}", file=sys.stderr)
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -310,21 +423,28 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     system = NovaSystem(
         config, graph, placement=args.placement, engine=args.engine
     )
-    print(system.describe())
+    # `--json` with no path streams the machine-readable report to
+    # stdout; the rendered view moves to stderr so stdout stays pure
+    # JSON for pipelines (`repro profile --json | jq ...`).
+    json_stdout = args.json == "-"
+    view = sys.stderr if json_stdout else sys.stdout
+    print(system.describe(), file=view)
     with trace_span("cli.profile", workload=workload, graph=args.graph):
         run = system.run(workload, source=source, recorder=recorder, **kwargs)
-    print(run.describe())
-    print()
+    print(run.describe(), file=view)
+    print(file=view)
     report = BottleneckReport.from_timeline(run.timeline)
-    print(report.render())
+    print(report.render(), file=view)
     profiler = recorder.phase_profiler
     if profiler is not None:
-        print()
-        print(profiler.render())
+        print(file=view)
+        print(profiler.render(), file=view)
     # Sweep-level fault/retry/timeout accounting (nonzero only when this
     # process also drove instrumented sweeps, e.g. via the runner API).
-    print(FAULT_COUNTERS.render())
-    if args.json:
+    print(FAULT_COUNTERS.render(), file=view)
+    if json_stdout:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.json:
         payload = {
             "report": report.to_dict(),
             "timeline": run.timeline,
@@ -436,30 +556,39 @@ def make_parser() -> argparse.ArgumentParser:
                      help="check results against the sequential oracle")
     run.set_defaults(func=_cmd_run)
 
+    def add_grid_args(parser: argparse.ArgumentParser) -> None:
+        """The sweep-grid arguments `sweep` and `report` must share --
+        `report` rebuilds the same grid to recompute the cache keys."""
+        parser.add_argument("--graph", default="rmat:14:16",
+                            help="graph specifier (see --help header)")
+        parser.add_argument("--workloads", default="bfs",
+                            help="comma-separated, e.g. bfs,sssp,pr")
+        parser.add_argument("--gpns", default="1",
+                            help="comma-separated GPN counts, e.g. 1,2,4,8")
+        parser.add_argument("--sources", type=int, default=4,
+                            help="sampled sources per traversal workload")
+        parser.add_argument("--scale", type=float, default=1 / 256)
+        parser.add_argument("--placement", default="random",
+                            choices=("interleave", "random", "load_balanced",
+                                     "locality"))
+        parser.add_argument("--pr-supersteps", type=int, default=10)
+        parser.add_argument("--seed", type=int, default=42)
+        parser.add_argument("--timeline", action="store_true",
+                            help="instrument every run with a per-quantum "
+                                 "timeline (cached separately; gives "
+                                 "`repro report` bottleneck shares)")
+        parser.add_argument("--cache-dir", default=None,
+                            help="run-cache root (default: REPRO_CACHE_DIR "
+                                 "or ~/.cache/repro-nova)")
+
     sweep = sub.add_parser(
         "sweep",
         help="run a cached, process-parallel sweep of NOVA simulations",
     )
-    sweep.add_argument("--graph", default="rmat:14:16",
-                       help="graph specifier (see --help header)")
-    sweep.add_argument("--workloads", default="bfs",
-                       help="comma-separated, e.g. bfs,sssp,pr")
-    sweep.add_argument("--gpns", default="1",
-                       help="comma-separated GPN counts, e.g. 1,2,4,8")
-    sweep.add_argument("--sources", type=int, default=4,
-                       help="sampled sources per traversal workload")
-    sweep.add_argument("--scale", type=float, default=1 / 256)
-    sweep.add_argument("--placement", default="random",
-                       choices=("interleave", "random", "load_balanced",
-                                "locality"))
-    sweep.add_argument("--pr-supersteps", type=int, default=10)
-    sweep.add_argument("--seed", type=int, default=42)
+    add_grid_args(sweep)
     sweep.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: REPRO_WORKERS or "
                             "cpu count)")
-    sweep.add_argument("--cache-dir", default=None,
-                       help="run-cache root (default: REPRO_CACHE_DIR or "
-                            "~/.cache/repro-nova)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute every run and store nothing")
     sweep.add_argument("--resume", action="store_true",
@@ -471,7 +600,26 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retries", type=int, default=None,
                        help="extra attempts for transient failures "
                             "(default: REPRO_RUN_RETRIES or 1)")
+    sweep.add_argument("--no-progress", action="store_true",
+                       help="suppress the live progress line on stderr")
     sweep.set_defaults(func=_cmd_sweep)
+
+    rep = sub.add_parser(
+        "report",
+        help="aggregate a cached sweep into a cross-run bottleneck report",
+    )
+    add_grid_args(rep)
+    rep.add_argument("--group-by", default="workload,graph,gpns",
+                     help="comma-separated grouping dimensions "
+                          "(workload, graph, gpns, source)")
+    rep.add_argument("--z-threshold", type=float, default=3.0,
+                     help="flag runs whose throughput diverges from their "
+                          "group by more than this many standard deviations")
+    rep.add_argument("--json", default=None,
+                     help="write the schema-versioned JSON report here")
+    rep.add_argument("--md", default=None,
+                     help="write the rendered markdown report here")
+    rep.set_defaults(func=_cmd_report)
 
     prof = sub.add_parser(
         "profile",
@@ -499,8 +647,11 @@ def make_parser() -> argparse.ArgumentParser:
                       help="sample wall-time one quantum in every N")
     prof.add_argument("--no-phases", action="store_true",
                       help="skip wall-clock phase profiling")
-    prof.add_argument("--json", default="repro_profile.json",
-                      help="JSON export path ('' to skip)")
+    prof.add_argument("--json", nargs="?", const="-", default=None,
+                      help="bare --json: print the bottleneck report as "
+                           "JSON on stdout (rendered view moves to "
+                           "stderr); --json PATH: write the full payload "
+                           "(report + timeline + phases) to PATH")
     prof.set_defaults(func=_cmd_profile)
 
     gen = sub.add_parser("generate", help="build and save a graph")

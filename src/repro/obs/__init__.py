@@ -11,10 +11,17 @@ phase.  :mod:`repro.obs.tracing` adds env-gated structured span tracing
 fault/retry counters sweeps report into (:data:`FAULT_COUNTERS`), and
 :mod:`repro.obs.profile` turns a recorded timeline into a
 bottleneck-attribution report (the ``repro profile`` CLI subcommand).
+
+On top of the per-run layer, :mod:`repro.obs.report` aggregates a whole
+sweep's results into grouped bottleneck/outlier reports (the ``repro
+report`` CLI subcommand) and :mod:`repro.obs.bench_history` tracks the
+benchmark trajectory across commits with rolling-median regression
+verdicts (``benchmarks/perf_smoke.py --against``).
 """
 
+from repro.obs.bench_history import BenchHistory, RegressionVerdict
 from repro.obs.config import ObsConfig, make_recorder
-from repro.obs.counters import FAULT_COUNTERS, CounterRegistry
+from repro.obs.counters import FAULT_COUNTERS, CounterRegistry, render_counts
 from repro.obs.profile import BottleneckReport
 from repro.obs.recorder import (
     MetricsRecorder,
@@ -23,11 +30,13 @@ from repro.obs.recorder import (
     QuantumObservation,
     TimelineRecorder,
 )
+from repro.obs.report import ReportEntry, SweepReport, entry_from_result
 from repro.obs.tracing import trace_enabled, trace_event, trace_span
 
 __all__ = [
     "ObsConfig",
     "make_recorder",
+    "BenchHistory",
     "BottleneckReport",
     "CounterRegistry",
     "FAULT_COUNTERS",
@@ -35,7 +44,12 @@ __all__ = [
     "NullRecorder",
     "PhaseProfiler",
     "QuantumObservation",
+    "RegressionVerdict",
+    "ReportEntry",
+    "SweepReport",
     "TimelineRecorder",
+    "entry_from_result",
+    "render_counts",
     "trace_enabled",
     "trace_event",
     "trace_span",

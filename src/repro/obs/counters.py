@@ -22,6 +22,14 @@ import threading
 from typing import Dict
 
 
+def render_counts(counts: Dict[str, int], prefix: str = "fault counters") -> str:
+    """One-line rendering of a counter snapshot or delta."""
+    if not counts:
+        return f"{prefix}: none recorded"
+    body = " ".join(f"{name}={value}" for name, value in sorted(counts.items()))
+    return f"{prefix}: {body}"
+
+
 class CounterRegistry:
     """A named bag of monotonically increasing integer counters."""
 
@@ -45,6 +53,21 @@ class CounterRegistry:
         with self._lock:
             return dict(self._counts)
 
+    def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        """Counts accumulated since ``snapshot`` (zero deltas omitted).
+
+        The registry is process-wide and never reset by sweeps, so
+        per-sweep accounting snapshots it up front and reads the delta
+        afterwards -- consecutive sweeps in one process then report
+        their own counts, not the cumulative ones.
+        """
+        out: Dict[str, int] = {}
+        for name, value in self.snapshot().items():
+            delta = value - snapshot.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
     def reset(self) -> None:
         with self._lock:
             self._counts.clear()
@@ -54,13 +77,7 @@ class CounterRegistry:
         stats.merge(self.snapshot())
 
     def render(self, prefix: str = "fault counters") -> str:
-        snap = self.snapshot()
-        if not snap:
-            return f"{prefix}: none recorded"
-        body = " ".join(
-            f"{name}={value}" for name, value in sorted(snap.items())
-        )
-        return f"{prefix}: {body}"
+        return render_counts(self.snapshot(), prefix)
 
 
 #: The process-wide registry sweeps report into.

@@ -46,15 +46,17 @@ class BottleneckReport:
                 f"unsupported timeline schema {timeline.get('schema')!r}; "
                 f"expected {TIMELINE_SCHEMA}"
             )
-        totals = timeline["totals"]
+        # Tolerate empty or partially populated timelines (a run that
+        # closed zero quanta still exports a valid, all-zero report).
+        totals = timeline.get("totals") or {}
         return cls(
-            quanta=int(timeline["quanta"]),
-            elapsed_seconds=float(totals["elapsed_seconds"]),
-            class_seconds=dict(totals["class_seconds"]),
-            class_quanta=dict(totals["class_quanta"]),
-            resource_seconds=dict(totals["resource_seconds"]),
-            resource_quanta=dict(totals["resource_quanta"]),
-            counters=dict(totals["counters"]),
+            quanta=int(timeline.get("quanta") or 0),
+            elapsed_seconds=float(totals.get("elapsed_seconds") or 0.0),
+            class_seconds=dict(totals.get("class_seconds") or {}),
+            class_quanta=dict(totals.get("class_quanta") or {}),
+            resource_seconds=dict(totals.get("resource_seconds") or {}),
+            resource_quanta=dict(totals.get("resource_quanta") or {}),
+            counters=dict(totals.get("counters") or {}),
         )
 
     # ------------------------------------------------------------------
@@ -79,12 +81,25 @@ class BottleneckReport:
         }
 
     @property
+    def empty(self) -> bool:
+        """True when nothing was recorded (no quanta or no elapsed time)."""
+        return self.quanta == 0 or self.elapsed_seconds <= 0
+
+    @property
     def dominant_class(self) -> str:
-        """The bound class holding the largest share of elapsed time."""
+        """The bound class holding the largest share of elapsed time.
+
+        ``"none"`` for an empty report -- attributing a dominant class
+        to zero recorded time would be arbitrary.
+        """
+        if self.empty:
+            return "none"
         return max(BOUND_CLASSES, key=lambda n: self.class_seconds.get(n, 0.0))
 
     @property
     def dominant_resource(self) -> str:
+        if self.empty:
+            return "none"
         return max(
             BOTTLENECK_NAMES, key=lambda n: self.resource_seconds.get(n, 0.0)
         )
@@ -108,7 +123,7 @@ class BottleneckReport:
 
     def render(self, width: int = 32) -> str:
         """Text histogram: shares per class, then per resource."""
-        if self.quanta == 0:
+        if self.empty:
             return "bottleneck report: no quanta recorded"
         lines = [
             f"bottleneck report: {self.quanta} quanta, "

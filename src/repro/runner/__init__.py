@@ -38,6 +38,7 @@ Public entry points: :class:`~repro.runner.sweep.SweepRunner`,
 from repro.runner.cache import RunCache, default_cache_dir, graph_digest, spec_key
 from repro.runner.checkpoint import SweepCheckpoint, sweep_id
 from repro.runner.fault import RetryPolicy, RunFailure
+from repro.runner.monitor import SweepMonitor
 from repro.runner.spec import GraphSpec, RunSpec
 from repro.runner.sweep import (
     SweepRunner,
@@ -53,6 +54,7 @@ __all__ = [
     "RunFailure",
     "RunSpec",
     "SweepCheckpoint",
+    "SweepMonitor",
     "SweepRunner",
     "SweepStats",
     "default_cache_dir",

@@ -50,6 +50,7 @@ from repro.obs.tracing import trace_event, trace_span
 from repro.runner.cache import RunCache, spec_key
 from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.fault import RetryPolicy, RunFailure, env_int, is_transient
+from repro.runner.monitor import SweepMonitor
 from repro.runner.spec import RunSpec
 
 # ----------------------------------------------------------------------
@@ -222,7 +223,11 @@ class SweepStats:
     cache keys; ``deduped`` counts the duplicate spec slots resolved by
     aliasing a sibling's key, so ``total == hits + computed + failed +
     deduped`` always holds.  ``retried`` counts re-executions granted to
-    transient failures (not slots).
+    transient failures (not slots).  ``fault_counters`` holds this
+    sweep's *own* ``sweep.*`` counter increments -- a delta against the
+    process-wide :data:`~repro.obs.counters.FAULT_COUNTERS` registry, so
+    consecutive sweeps in one process never bleed counts into each
+    other.
     """
 
     total: int = 0
@@ -231,6 +236,7 @@ class SweepStats:
     failed: int = 0
     retried: int = 0
     deduped: int = 0
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     def __str__(self) -> str:
         text = (
@@ -285,6 +291,7 @@ class SweepRunner:
         specs: Sequence[RunSpec],
         on_failure: str = "raise",
         checkpoint: Optional[SweepCheckpoint] = None,
+        monitor: Optional[SweepMonitor] = None,
     ) -> Tuple[List[Union[RunResult, RunFailure]], SweepStats]:
         """Execute ``specs``; returns results in input order plus stats.
 
@@ -295,7 +302,11 @@ class SweepRunner:
         selects what a non-empty failure set does after every sibling
         completed: ``"raise"`` raises :class:`SweepFailure`,
         ``"return"`` leaves :class:`RunFailure` records in the failed
-        slots.
+        slots.  ``monitor`` (a
+        :class:`~repro.runner.monitor.SweepMonitor`) observes every
+        per-key transition for live progress/ETA reporting; resumed
+        runs reach it as cache hits, so prior completions count toward
+        its progress from the first line.
         """
         if on_failure not in ("raise", "return"):
             raise ConfigError(
@@ -304,6 +315,7 @@ class SweepRunner:
         # Validate eviction config before burning any compute.
         max_bytes = env_int("REPRO_CACHE_MAX_BYTES", minimum=0)
         stats = SweepStats(total=len(specs))
+        fault_base = FAULT_COUNTERS.snapshot()
         with trace_span("sweep.run", runs=len(specs), workers=self.workers):
             keys = [spec_key(spec) for spec in specs]
             unique: Dict[str, RunSpec] = {}
@@ -313,6 +325,8 @@ class SweepRunner:
             stats.deduped = len(keys) - len(unique)
             if checkpoint is not None:
                 checkpoint.begin(total=len(unique))
+            if monitor is not None:
+                monitor.begin(unique, workers=self.workers)
 
             resolved: Dict[str, Union[RunResult, RunFailure]] = {}
             if self.cache is not None:
@@ -322,6 +336,8 @@ class SweepRunner:
                         resolved[key] = cached
                         if checkpoint is not None:
                             checkpoint.mark(key)
+                        if monitor is not None:
+                            monitor.hit(key)
             stats.hits = len(resolved)
 
             todo = {
@@ -330,7 +346,9 @@ class SweepRunner:
                 if key not in resolved
             }
             if todo:
-                resolved.update(self._execute(todo, stats, checkpoint))
+                resolved.update(
+                    self._execute(todo, stats, checkpoint, monitor)
+                )
             stats.failed = sum(
                 1 for value in resolved.values() if isinstance(value, RunFailure)
             )
@@ -339,6 +357,9 @@ class SweepRunner:
             if self.cache is not None and max_bytes is not None:
                 self.cache.prune(max_bytes)
 
+            stats.fault_counters = FAULT_COUNTERS.delta_since(fault_base)
+            if monitor is not None:
+                monitor.end()
             trace_event(
                 "sweep.summary",
                 total=stats.total,
@@ -347,6 +368,7 @@ class SweepRunner:
                 failed=stats.failed,
                 retried=stats.retried,
                 deduped=stats.deduped,
+                fault_counters=stats.fault_counters,
             )
             failures = [
                 value
@@ -366,6 +388,7 @@ class SweepRunner:
         todo: Dict[str, RunSpec],
         stats: SweepStats,
         checkpoint: Optional[SweepCheckpoint],
+        monitor: Optional[SweepMonitor] = None,
     ) -> Dict[str, Union[RunResult, RunFailure]]:
         """Round-based attempt loop: submit, drain, classify, retry."""
         policy = self.policy
@@ -381,6 +404,9 @@ class SweepRunner:
             if outcome.ok:
                 resolved[key] = outcome.result
                 self._flush(key, outcome.result, checkpoint)
+                if monitor is not None:
+                    monitor.finish(key, ok=True,
+                                   elapsed_seconds=outcome.elapsed_seconds)
                 return
             if outcome.timed_out:
                 FAULT_COUNTERS.increment("sweep.timeouts")
@@ -390,6 +416,8 @@ class SweepRunner:
                 retries[key] = todo[key]
                 stats.retried += 1
                 FAULT_COUNTERS.increment("sweep.retries")
+                if monitor is not None:
+                    monitor.retry(key)
                 trace_event(
                     "sweep.retry",
                     key=key,
@@ -412,6 +440,9 @@ class SweepRunner:
             )
             resolved[key] = failure
             FAULT_COUNTERS.increment("sweep.failures")
+            if monitor is not None:
+                monitor.finish(key, ok=False,
+                               elapsed_seconds=outcome.elapsed_seconds)
             trace_event(
                 "sweep.run_failed",
                 key=key,
@@ -435,6 +466,9 @@ class SweepRunner:
                 if last_outcome.get(key) is not None
                 and last_outcome[key].worker_died
             }
+            if monitor is not None:
+                for key in pending:
+                    monitor.running(key)
             with trace_span(
                 "sweep.execute", runs=len(pending), round=round_index
             ):

@@ -100,6 +100,38 @@ class TestRender:
             "bandwidth": 0.0, "compute": 0.0, "queue": 0.0
         }
 
+    def test_empty_report_full_surface(self):
+        """Regression: a zero-quantum timeline must not divide by zero
+        anywhere -- every derived view stays defined and explicit."""
+        empty = BottleneckReport.from_timeline(TimelineRecorder(4).timeline_dict())
+        assert empty.empty
+        assert empty.dominant_class == "none"
+        assert empty.dominant_resource == "none"
+        assert empty.resource_shares() == {
+            name: 0.0 for name in empty.resource_shares()
+        }
+        assert empty.render() == "bottleneck report: no quanta recorded"
+        payload = empty.to_dict()
+        assert payload["quanta"] == 0
+        assert payload["dominant_class"] == "none"
+        import json
+
+        json.dumps(payload)  # JSON-serializable end to end
+
+    def test_timeline_missing_totals_section(self):
+        """Regression: a schema-valid dict without ``totals`` (or with
+        ``totals: null``) parses to the explicit empty state."""
+        from repro.obs.recorder import TIMELINE_SCHEMA
+
+        for timeline in (
+            {"schema": TIMELINE_SCHEMA},
+            {"schema": TIMELINE_SCHEMA, "quanta": 0, "totals": None},
+        ):
+            report = BottleneckReport.from_timeline(timeline)
+            assert report.empty
+            assert report.dominant_class == "none"
+            assert "no quanta recorded" in report.render()
+
 
 class TestEndToEnd:
     def test_report_from_real_run(self, two_gpn_config, rmat_graph):

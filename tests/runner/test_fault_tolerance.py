@@ -119,6 +119,31 @@ def test_poisoned_spec_does_not_abort_siblings(tmp_path, graph, config):
     assert (again.hits, again.computed, again.failed) == (2, 0, 1)
 
 
+def test_fault_counters_are_per_sweep(tmp_path, graph, config):
+    """Regression: the process-wide FAULT_COUNTERS registry must not
+    leak between sweeps -- each SweepStats carries only its own delta.
+    """
+    runner = SweepRunner(
+        workers=1, cache_dir=str(tmp_path), policy=FAST_POLICY
+    )
+    poisoned = [nova_spec(graph, config, source=0, system="test.poison")]
+
+    _, first = runner.run(poisoned, on_failure="return")
+    assert first.fault_counters["sweep.failures"] == 1
+
+    # Second sweep in the same process: the global registry now reads 2,
+    # but the per-sweep delta still reports exactly this sweep's one.
+    _, second = runner.run(poisoned, on_failure="return")
+    assert FAULT_COUNTERS.get("sweep.failures") == 2
+    assert second.fault_counters["sweep.failures"] == 1
+
+    # A clean sweep's delta carries no failures from its predecessors
+    # (its own checkpoint flush is the only nonzero counter).
+    _, clean = runner.run([nova_spec(graph, config, source=1)])
+    assert "sweep.failures" not in clean.fault_counters
+    assert clean.fault_counters == {"sweep.checkpoint_flushes": 1}
+
+
 def test_on_failure_raise_completes_siblings_first(tmp_path, graph, config):
     runner = SweepRunner(
         workers=1, cache_dir=str(tmp_path), policy=FAST_POLICY

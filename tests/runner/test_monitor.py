@@ -1,0 +1,243 @@
+"""Live sweep telemetry (repro.runner.monitor.SweepMonitor).
+
+The monitor's clock is injectable, so throttling, throughput, and ETA
+are all tested without sleeping; rendering is exercised against plain
+StringIO (pipe mode) and an isatty=True stand-in (redraw mode).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.graph.generators import rmat
+from repro.runner.monitor import SweepMonitor, format_duration
+from repro.runner.spec import RunSpec
+from repro.runner.sweep import SweepRunner
+from repro.sim.config import scaled_config
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestFormatDuration:
+    def test_subminute_keeps_a_decimal(self):
+        assert format_duration(9.96) == "10.0s"
+        assert format_duration(0.0) == "0.0s"
+
+    def test_minutes_and_hours(self):
+        assert format_duration(90.4) == "1m30s"
+        assert format_duration(3660) == "1h01m"
+
+    def test_negative_clamps(self):
+        assert format_duration(-5) == "0.0s"
+
+
+class TestLifecycle:
+    def test_state_ledger(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a", "b", "c", "d"])
+        assert mon.total == 4 and mon.done == 0
+        mon.hit("a")
+        mon.running("b")
+        mon.finish("b", ok=True, elapsed_seconds=2.0)
+        mon.running("c")
+        mon.finish("c", ok=False)
+        counts = mon.counts()
+        assert counts == {
+            "pending": 1, "running": 0, "hit": 1, "computed": 1, "failed": 1
+        }
+        assert mon.done == 3
+
+    def test_retry_bounces_back_to_pending(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a"])
+        mon.running("a")
+        mon.retry("a")
+        assert mon.counts()["pending"] == 1
+        assert mon.retried == 1
+        mon.running("a")
+        mon.finish("a", ok=True, elapsed_seconds=1.0)
+        assert mon.done == 1 and mon.retried == 1
+
+    def test_running_only_promotes_pending(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a"])
+        mon.hit("a")
+        mon.running("a")  # already settled: must not regress to running
+        assert mon.counts()["hit"] == 1
+
+    def test_begin_resets_previous_sweep(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a"])
+        mon.retry("a")
+        mon.finish("a", ok=True, elapsed_seconds=5.0)
+        mon.begin(["x", "y"])
+        assert mon.total == 2 and mon.done == 0 and mon.retried == 0
+        assert mon.eta_seconds() is None  # durations were cleared
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            SweepMonitor(interval_seconds=-1.0)
+
+
+class TestTelemetry:
+    def test_eta_divides_by_workers(self):
+        clock = FakeClock()
+        mon = SweepMonitor(stream=None, clock=clock)
+        mon.begin(["a", "b", "c", "d"], workers=2)
+        assert mon.eta_seconds() is None  # no durations yet
+        mon.finish("a", ok=True, elapsed_seconds=10.0)
+        mon.finish("b", ok=True, elapsed_seconds=10.0)
+        # 2 remaining x mean 10s / 2 workers = 10s
+        assert mon.eta_seconds() == pytest.approx(10.0)
+        mon.finish("c", ok=True, elapsed_seconds=10.0)
+        mon.finish("d", ok=True, elapsed_seconds=10.0)
+        assert mon.eta_seconds() == 0.0
+
+    def test_cache_hits_do_not_feed_eta(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a", "b", "c"], workers=1)
+        mon.hit("a")
+        # A resumed sweep resolving hits instantly must not fake an ETA.
+        assert mon.eta_seconds() is None
+        mon.finish("b", ok=True, elapsed_seconds=4.0)
+        assert mon.eta_seconds() == pytest.approx(4.0)
+
+    def test_failed_runs_do_not_feed_eta(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a", "b"])
+        mon.finish("a", ok=False, elapsed_seconds=99.0)
+        assert mon.eta_seconds() is None
+
+    def test_throughput_uses_injected_clock(self):
+        clock = FakeClock()
+        mon = SweepMonitor(stream=None, clock=clock)
+        mon.begin(["a", "b", "c", "d"])
+        assert mon.throughput() is None
+        clock.advance(2.0)
+        mon.hit("a")
+        mon.finish("b", ok=True, elapsed_seconds=0.5)
+        assert mon.throughput() == pytest.approx(1.0)
+
+    def test_progress_line_shape(self):
+        clock = FakeClock()
+        mon = SweepMonitor(stream=None, clock=clock)
+        mon.begin(["a", "b", "c", "d"], workers=1)
+        clock.advance(1.0)
+        mon.hit("a")
+        mon.finish("b", ok=True, elapsed_seconds=3.0)
+        line = mon.progress_line()
+        assert line.startswith("sweep 2/4 (1 hit, 1 computed)")
+        assert "runs/s" in line
+        assert "eta 6.0s" in line  # 2 pending x 3s / 1 worker
+
+    def test_progress_line_failed_and_retried(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a", "b"])
+        mon.retry("a")
+        mon.finish("a", ok=False)
+        line = mon.progress_line()
+        assert "1 failed" in line and "1 retried" in line
+
+
+class TestRendering:
+    def test_pipe_mode_throttles_by_interval(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        mon = SweepMonitor(stream=stream, interval_seconds=1.0, clock=clock)
+        mon.begin(["a", "b", "c"])
+        mon.hit("a")  # first update renders
+        mon.hit("b")  # same instant: throttled
+        clock.advance(1.5)
+        mon.hit("c")  # interval elapsed: renders
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("sweep 1/3")
+        assert lines[1].startswith("sweep 3/3")
+
+    def test_end_always_renders_final_state(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        mon = SweepMonitor(stream=stream, interval_seconds=60.0, clock=clock)
+        mon.begin(["a", "b"])
+        mon.hit("a")
+        mon.hit("b")  # throttled
+        mon.end()  # forced
+        assert stream.getvalue().splitlines()[-1].startswith("sweep 2/2")
+
+    def test_tty_mode_redraws_in_place(self):
+        clock = FakeClock()
+        stream = TtyStream()
+        mon = SweepMonitor(stream=stream, interval_seconds=0.0, clock=clock)
+        mon.begin(["a", "b"])
+        mon.hit("a")
+        mon.hit("b")
+        mon.end()
+        text = stream.getvalue()
+        assert text.count("\r") >= 2  # redraw, not scroll
+        assert text.endswith("\n")  # terminal line released on end()
+        assert "sweep 2/2" in text
+
+    def test_stream_none_keeps_state_silently(self):
+        mon = SweepMonitor(stream=None, clock=FakeClock())
+        mon.begin(["a"])
+        mon.hit("a")
+        mon.end()  # no stream: must not raise
+        assert mon.done == 1
+
+
+class TestTracing:
+    def test_progress_trace_events(self, tmp_path, monkeypatch):
+        trace = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        clock = FakeClock()
+        mon = SweepMonitor(stream=None, interval_seconds=0.0, clock=clock)
+        mon.begin(["a", "b"], workers=1)
+        mon.hit("a")
+        mon.finish("b", ok=True, elapsed_seconds=2.0)
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        progress = [e for e in events if e["name"] == "sweep.progress"]
+        assert len(progress) == 2
+        final = progress[-1]
+        assert final["total"] == 2 and final["done"] == 2
+        assert final["hit"] == 1 and final["computed"] == 1
+        assert final["eta_seconds"] == 0.0
+
+
+class TestSweepRunnerIntegration:
+    def test_monitor_observes_computed_then_resumed_hits(self, tmp_path):
+        graph = rmat(9, 8, seed=5)
+        config = scaled_config(num_gpns=1, scale=1.0 / 1024.0)
+        specs = [
+            RunSpec("bfs", graph, config=config, source=s) for s in (0, 1, 2)
+        ]
+        runner = SweepRunner(workers=1, cache_dir=str(tmp_path))
+        mon = SweepMonitor(stream=None)
+        runner.run(specs, monitor=mon)
+        assert mon.counts()["computed"] == 3
+        assert mon.done == mon.total == 3
+
+        # Resumed/cached pass: everything resolves as hits, ETA is 0.
+        runner.run(specs, monitor=mon)
+        assert mon.counts()["hit"] == 3
+        assert mon.counts()["computed"] == 0
+        assert mon.eta_seconds() == 0.0
+        assert mon.progress_line().startswith("sweep 3/3 (3 hit, 0 computed)")

@@ -178,3 +178,88 @@ class TestCommands:
                      "--gpns", "1", "--sources", "1", "--workers", "1",
                      "--no-cache", "--resume"]) == 1
         assert "--resume needs the run cache" in capsys.readouterr().err
+
+    def test_sweep_progress_on_stderr(self, tmp_path, capsys):
+        assert main(["sweep", "--graph", "rmat:9:8", "--workloads", "bfs",
+                     "--gpns", "1", "--sources", "2", "--workers", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "sweep 2/2" in captured.err  # live telemetry, stderr only
+        assert "sweep 2/2" not in captured.out
+
+    def test_sweep_no_progress_silences_monitor(self, tmp_path, capsys):
+        assert main(["sweep", "--graph", "rmat:9:8", "--workloads", "bfs",
+                     "--gpns", "1", "--sources", "1", "--workers", "1",
+                     "--no-progress", "--cache-dir", str(tmp_path)]) == 0
+        assert "sweep 1/1" not in capsys.readouterr().err
+
+    def test_profile_json_stdout(self, capsys):
+        import json
+
+        # Bare --json streams the report to stdout; the rendered view
+        # moves to stderr so stdout stays machine-parseable.
+        assert main(["profile", "--graph", "rmat:8:8", "--workload", "bfs",
+                     "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["dominant_class"] in ("bandwidth", "compute", "queue")
+        assert payload["quanta"] > 0
+        assert "class_shares" in payload
+        assert "by class:" in captured.err
+
+    def test_report_after_timeline_sweep(self, tmp_path, capsys):
+        grid = ["--graph", "rmat:9:8", "--workloads", "bfs,pr",
+                "--gpns", "1,2", "--sources", "2", "--timeline",
+                "--cache-dir", str(tmp_path)]
+        assert main(["sweep"] + grid + ["--workers", "1",
+                                        "--no-progress"]) == 0
+        capsys.readouterr()
+
+        json_a = str(tmp_path / "a.json")
+        md_path = str(tmp_path / "a.md")
+        assert main(["report"] + grid + ["--json", json_a,
+                                         "--md", md_path]) == 0
+        first = capsys.readouterr().out
+        assert first.startswith("# Sweep report")
+        assert "workload=bfs, graph=rmat:9:8, gpns=1" in first
+        assert "## Bottleneck shares" in first
+
+        # Same cache, second invocation: byte-identical everywhere.
+        json_b = str(tmp_path / "b.json")
+        assert main(["report"] + grid + ["--json", json_b]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        with open(json_a, "rb") as fa, open(json_b, "rb") as fb:
+            assert fa.read() == fb.read()
+        with open(md_path, encoding="utf-8") as f:
+            assert f.read() == first
+
+    def test_report_groups_failures(self, tmp_path, capsys):
+        import json
+
+        grid = ["--graph", "rmat:9:8", "--workloads", "bfs",
+                "--gpns", "1", "--sources", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(["sweep"] + grid + ["--workers", "1",
+                                        "--no-progress"]) == 0
+        capsys.readouterr()
+        out_json = str(tmp_path / "r.json")
+        assert main(["report"] + grid + ["--json", out_json]) == 0
+        payload = json.load(open(out_json, encoding="utf-8"))
+        assert payload["schema"] == 1
+        assert payload["totals"]["ok"] == 2
+        # Uninstrumented sweep: no timelines joined, no bottleneck cells.
+        assert payload["totals"]["with_timeline"] == 0
+
+    def test_report_empty_cache_errors(self, tmp_path, capsys):
+        assert main(["report", "--graph", "rmat:9:8", "--workloads", "bfs",
+                     "--gpns", "1", "--sources", "1",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "no cached runs found" in capsys.readouterr().err
+
+    def test_report_rejects_bad_group_by(self, tmp_path, capsys):
+        assert main(["report", "--graph", "rmat:9:8", "--workloads", "bfs",
+                     "--gpns", "1", "--sources", "1",
+                     "--cache-dir", str(tmp_path),
+                     "--group-by", "seed"]) == 1
+        assert "error:" in capsys.readouterr().err

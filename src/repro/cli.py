@@ -11,6 +11,10 @@ Commands:
   :mod:`repro.obs.report`)
 - ``profile``   run one instrumented NOVA simulation and print a
   bottleneck-attribution report (see :mod:`repro.obs`)
+- ``serve``     boot the async job service (HTTP, see :mod:`repro.service`)
+- ``submit``    post one simulation job to a running service
+- ``status``    service health + job ledger (or one job's detail)
+- ``fetch``     download a completed job's result as JSON
 - ``generate``  build a synthetic graph and save it
 - ``info``      print the system configuration (Table II) and tracker sizing
 - ``resources`` print Table IV terascale requirements
@@ -30,8 +34,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional
-
-import numpy as np
 
 from repro import (
     LigraConfig,
@@ -90,50 +92,86 @@ def build_graph(spec: str, seed: int = 42) -> CSRGraph:
     if kind == "road":
         return road_grid(int(args[0]), int(args[1]), seed=seed)
     if kind == "suite":
-        return suites.build_graph(args[0])
+        return suites.build_graph(args[0], seed=seed)
     raise ReproError(f"unknown graph kind: {kind!r}")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    graph = build_graph(args.graph, seed=args.seed)
-    workload = args.workload
-    if workload == "sssp" and not graph.has_weights:
-        graph = with_uniform_weights(graph, seed=args.seed)
-    if workload == "cc":
-        graph = graph.symmetrized()
-
-    source: Optional[int] = None
-    if workload not in ("cc", "pr"):
-        source = (
-            int(np.argmax(graph.out_degrees()))
-            if args.source is None
-            else args.source
-        )
-
-    kwargs = {}
-    if workload == "pr":
-        kwargs["max_supersteps"] = args.pr_supersteps
-
+def _run_config(args: argparse.Namespace):
+    """The system config a ``repro run`` invocation describes."""
     if args.system == "nova":
         config = scaled_config(num_gpns=args.gpns, scale=args.scale)
         if args.vmu_mode != "tracker":
             config = config.with_updates(vmu_mode=args.vmu_mode)
-        system = NovaSystem(config, graph, placement=args.placement)
-        print(system.describe())
-    elif args.system == "polygraph":
-        onchip = parse_size(args.onchip) if args.onchip else int(32 * MiB * args.scale)
-        system = PolyGraphSystem(PolyGraphConfig(onchip_bytes=onchip), graph)
-        print(
-            f"PolyGraph: on-chip {bytes_to_human(onchip)}, memory "
-            f"{rate_to_human(system.config.memory.peak_bandwidth)}"
+        return config
+    if args.system == "polygraph":
+        onchip = (
+            parse_size(args.onchip) if args.onchip else int(32 * MiB * args.scale)
+        )
+        return PolyGraphConfig(onchip_bytes=onchip)
+    return LigraConfig()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner import GraphSpec, RunCache, RunSpec, execute_spec, spec_key
+    from repro.runner.spec import resolve_source
+
+    workload = args.workload
+    gspec = GraphSpec(
+        args.graph,
+        seed=args.seed,
+        weighted=(workload == "sssp"),
+        symmetrized=(workload == "cc"),
+    )
+    graph = gspec.build()
+    source = resolve_source(graph, workload, args.source)
+    kwargs = {}
+    if workload == "pr":
+        kwargs["max_supersteps"] = args.pr_supersteps
+    config = _run_config(args)
+
+    # Single runs go through the same content-addressed cache as sweeps
+    # and service jobs, so a repeated run (from any front end) is a hit.
+    # --verify runs uncached: the oracle pass decorates the result with
+    # reference counts the cache key does not distinguish.
+    if args.verify or args.no_cache:
+        if args.system == "nova":
+            system = NovaSystem(config, graph, placement=args.placement)
+            print(system.describe())
+        elif args.system == "polygraph":
+            system = PolyGraphSystem(config, graph)
+            print(
+                f"PolyGraph: on-chip {bytes_to_human(config.onchip_bytes)}, "
+                f"memory {rate_to_human(system.config.memory.peak_bandwidth)}"
+            )
+        else:
+            system = LigraModel(config, graph)
+            print("Ligra software model (8 cores, 32 MiB L3, 400 GB/s)")
+        run = system.run(
+            workload, source=source, compute_reference=args.verify, **kwargs
         )
     else:
-        system = LigraModel(LigraConfig(), graph)
-        print("Ligra software model (8 cores, 32 MiB L3, 400 GB/s)")
+        spec = RunSpec(
+            workload,
+            gspec,
+            config=config,
+            system=args.system,
+            source=source,
+            placement=args.placement,
+            workload_kwargs=kwargs,
+        )
+        cache = RunCache(args.cache_dir)
+        key = spec_key(spec)
+        run = cache.load(key)
+        if run is not None:
+            print(f"cache hit {key[:12]} ({cache.root})")
+        else:
+            print(f"cache miss {key[:12]}")
+            run = execute_spec(spec)
+            try:
+                cache.store(key, run)
+            except OSError:
+                pass  # a full disk must not fail a finished run
 
-    run = system.run(
-        workload, source=source, compute_reference=args.verify, **kwargs
-    )
     print(run.describe())
     for name, seconds in run.breakdown.items():
         print(f"  {name:>12}: {seconds * 1e3:9.4f} ms")
@@ -155,7 +193,7 @@ def _sweep_grid(args: argparse.Namespace):
     """
     from repro.core.harness import sample_sources
     from repro.obs import ObsConfig
-    from repro.runner import RunSpec
+    from repro.runner import GraphSpec, RunSpec
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     known = ("bfs", "cc", "sssp", "pr", "bc")
@@ -165,7 +203,6 @@ def _sweep_grid(args: argparse.Namespace):
                 f"unknown workload {workload!r}; choose from {', '.join(known)}"
             )
     gpn_counts = [int(g) for g in args.gpns.split(",")]
-    base_graph = build_graph(args.graph, seed=args.seed)
     obs = (
         ObsConfig(timeline=True)
         if getattr(args, "timeline", False)
@@ -175,11 +212,17 @@ def _sweep_grid(args: argparse.Namespace):
     specs = []
     rows = []  # (workload, gpns, source) aligned with specs
     for workload in workloads:
-        graph = base_graph
-        if workload == "sssp" and not graph.has_weights:
-            graph = with_uniform_weights(base_graph, seed=args.seed)
-        elif workload == "cc":
-            graph = base_graph.symmetrized()
+        # One GraphSpec recipe per workload variant: --seed flows into
+        # the build (and so into the content-addressed key) on every
+        # path, and run/sweep/service submissions of the same inputs
+        # digest to the same cache entry.
+        gspec = GraphSpec(
+            args.graph,
+            seed=args.seed,
+            weighted=(workload == "sssp"),
+            symmetrized=(workload == "cc"),
+        )
+        graph = gspec.build()
         if workload in ("cc", "pr"):
             sources = [None]
         else:
@@ -196,7 +239,7 @@ def _sweep_grid(args: argparse.Namespace):
                 specs.append(
                     RunSpec(
                         workload,
-                        graph,
+                        gspec,
                         config=config,
                         source=source,
                         placement=args.placement,
@@ -394,20 +437,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         trace_span,
     )
 
-    graph = build_graph(args.graph, seed=args.seed)
-    workload = args.workload
-    if workload == "sssp" and not graph.has_weights:
-        graph = with_uniform_weights(graph, seed=args.seed)
-    if workload == "cc":
-        graph = graph.symmetrized()
+    from repro.runner import GraphSpec
+    from repro.runner.spec import resolve_source
 
-    source: Optional[int] = None
-    if workload not in ("cc", "pr"):
-        source = (
-            int(np.argmax(graph.out_degrees()))
-            if args.source is None
-            else args.source
-        )
+    workload = args.workload
+    gspec = GraphSpec(
+        args.graph,
+        seed=args.seed,
+        weighted=(workload == "sssp"),
+        symmetrized=(workload == "cc"),
+    )
+    graph = gspec.build()
+    source = resolve_source(graph, workload, args.source)
     kwargs = {}
     if workload == "pr":
         kwargs["max_supersteps"] = args.pr_supersteps
@@ -524,6 +565,139 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _job_spec_from_args(args: argparse.Namespace) -> dict:
+    """A JSON job spec mirroring one ``repro run`` invocation."""
+    spec = {
+        "workload": args.workload,
+        "graph": args.graph,
+        "seed": args.seed,
+        "system": args.system,
+        "gpns": args.gpns,
+        "scale": args.scale,
+        "placement": args.placement,
+        "timeline": args.timeline,
+    }
+    if args.source is not None:
+        spec["source"] = args.source
+    if args.workload == "pr":
+        spec["workload_kwargs"] = {"max_supersteps": args.pr_supersteps}
+    return spec
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.runner import SweepRunner, default_cache_dir
+    from repro.service import ReproService
+
+    runner = SweepRunner(
+        workers=args.run_workers, cache_dir=args.cache_dir
+    )
+    state_dir = args.state_dir or os.path.join(
+        args.cache_dir or default_cache_dir(), "service"
+    )
+    service = ReproService(
+        state_dir,
+        runner=runner,
+        max_queue_depth=args.queue_depth,
+        job_workers=args.job_workers,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def on_ready(port: int) -> None:
+        print(
+            f"repro service listening on http://{args.host}:{port}",
+            flush=True,
+        )
+        print(f"  state: {state_dir}", flush=True)
+        print(f"  cache: {runner.cache.root}", flush=True)
+
+    summary = asyncio.run(
+        service.serve_forever(args.host, args.port, on_ready=on_ready)
+    )
+    print(
+        "drained: running "
+        + ("finished" if summary["drained"] else "interrupted")
+        + f", {summary['queued']} queued job(s) persisted for restart",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import TERMINAL_STATES
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    job = client.submit(
+        _job_spec_from_args(args), client=args.client, priority=args.priority
+    )
+    suffix = " (served from cache)" if job.get("cached") else ""
+    print(f"job {job['id']}: {job['state']}{suffix}")
+    if args.wait and job["state"] not in TERMINAL_STATES:
+        job = client.wait(job["id"], timeout=args.wait_timeout)
+        print(f"job {job['id']}: {job['state']}")
+    if job["state"] == "done" and (args.wait or job.get("cached")):
+        print(client.result(job["id"])["result"]["summary"])
+    if job["state"] == "failed":
+        print(
+            f"error: {job.get('error_type')}: {job.get('error_message')}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job:
+        print(json.dumps(client.job(args.job), indent=2, sort_keys=True))
+        return 0
+    health = client.health()
+    print(
+        f"service {health['status']} | queue "
+        f"{health['queue_depth']}/{health['max_queue_depth']} | "
+        f"running {health['running']}/{health['job_workers']}"
+    )
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'id':>16} {'state':>10} {'client':>12} {'prio':>4}  spec")
+    for job in jobs:
+        spec = job["spec"]
+        cached = " (cached)" if job.get("cached") else ""
+        print(
+            f"{job['id']:>16} {job['state']:>10} {job['client']:>12} "
+            f"{job['priority']:>4}  {spec['system']}/{spec['workload']} "
+            f"{spec['graph']}{cached}"
+        )
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    payload = client.result(args.job)
+    print(payload["result"]["summary"], file=sys.stderr)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {args.json}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -553,7 +727,13 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--pr-supersteps", type=int, default=10)
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--verify", action="store_true",
-                     help="check results against the sequential oracle")
+                     help="check results against the sequential oracle "
+                          "(runs uncached)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute even if the run cache has this spec")
+    run.add_argument("--cache-dir", default=None,
+                     help="run-cache root (default: REPRO_CACHE_DIR or "
+                          "~/.cache/repro-nova)")
     run.set_defaults(func=_cmd_run)
 
     def add_grid_args(parser: argparse.ArgumentParser) -> None:
@@ -653,6 +833,83 @@ def make_parser() -> argparse.ArgumentParser:
                            "stderr); --json PATH: write the full payload "
                            "(report + timeline + phases) to PATH")
     prof.set_defaults(func=_cmd_profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async job service (submit simulations over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="run-cache root shared with run/sweep/report")
+    serve.add_argument("--state-dir", default=None,
+                       help="job-journal directory (default: "
+                            "<cache-dir>/service)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="waiting jobs admitted before 429 backpressure")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="jobs executed concurrently")
+    serve.add_argument("--run-workers", type=int, default=1,
+                       help="SweepRunner processes per job; >=2 adds "
+                            "per-job process isolation")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to let running jobs finish on "
+                            "SIGTERM before giving up")
+    serve.set_defaults(func=_cmd_serve)
+
+    def add_client_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--url", default="http://127.0.0.1:8734",
+                            help="service base URL")
+
+    submit = sub.add_parser(
+        "submit", help="submit one simulation job to a running service"
+    )
+    add_client_args(submit)
+    submit.add_argument("--system", choices=("nova", "polygraph", "ligra"),
+                        default="nova")
+    submit.add_argument("--workload",
+                        choices=("bfs", "cc", "sssp", "pr", "bc"),
+                        default="bfs")
+    submit.add_argument("--graph", default="rmat:14:16",
+                        help="graph specifier (see --help header)")
+    submit.add_argument("--gpns", type=int, default=1)
+    submit.add_argument("--scale", type=float, default=1 / 256)
+    submit.add_argument("--placement", default="random",
+                        choices=("interleave", "random", "load_balanced",
+                                 "locality"))
+    submit.add_argument("--source", type=int, default=None)
+    submit.add_argument("--pr-supersteps", type=int, default=10)
+    submit.add_argument("--seed", type=int, default=42)
+    submit.add_argument("--timeline", action="store_true",
+                        help="instrument the run with a per-quantum "
+                             "timeline")
+    submit.add_argument("--client", default="cli",
+                        help="client name for fairness accounting")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first")
+    submit.add_argument("--wait", action="store_true",
+                        help="long-poll events until the job settles")
+    submit.add_argument("--wait-timeout", type=float, default=None,
+                        help="give up waiting after this many seconds")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="show service health and the job ledger"
+    )
+    add_client_args(status)
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id for a single-job detail view")
+    status.set_defaults(func=_cmd_status)
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a completed job's result as JSON"
+    )
+    add_client_args(fetch)
+    fetch.add_argument("job", help="job id")
+    fetch.add_argument("--json", default=None,
+                       help="write the payload here instead of stdout")
+    fetch.set_defaults(func=_cmd_fetch)
 
     gen = sub.add_parser("generate", help="build and save a graph")
     gen.add_argument("--kind", required=True, help="graph specifier")

@@ -36,6 +36,57 @@ class RunTimeoutError(ReproError):
     """A single sweep run exceeded its configured wall-clock timeout."""
 
 
+class ServiceError(ReproError):
+    """Base class for job-service failures (see :mod:`repro.service`)."""
+
+
+class JobSpecError(ServiceError):
+    """A submitted job specification is malformed or names unknowns."""
+
+
+class UnknownJobError(ServiceError):
+    """The referenced job id does not exist in the job store."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+
+class JobStateError(ServiceError):
+    """A job-state transition or operation is illegal in its state.
+
+    ``state`` is the job's current state at the time of the rejected
+    operation (HTTP maps this to 409 Conflict).
+    """
+
+    def __init__(self, message: str, state: str = ""):
+        self.state = state
+        super().__init__(message)
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a submission: the queue is at depth.
+
+    A *structured* backpressure signal (HTTP maps it to 429): ``depth``
+    is the current queue depth, ``limit`` the configured maximum, and
+    ``retry_after_seconds`` a coarse hint derived from the scheduler's
+    recent job throughput.
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after_seconds: float = 1.0):
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            f"job queue is full ({depth}/{limit}); retry in "
+            f"~{retry_after_seconds:g}s"
+        )
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining for shutdown and not accepting work."""
+
+
 class SweepFailure(ReproError):
     """One or more runs in a sweep ultimately failed.
 

@@ -55,9 +55,11 @@ class GraphSpec:
 
             name = self.spec.partition(":")[2]
             if self.scale is not None:
-                graph = suites.build_graph(name, scale=self.scale)
+                graph = suites.build_graph(
+                    name, scale=self.scale, seed=self.seed
+                )
             else:
-                graph = suites.build_graph(name)
+                graph = suites.build_graph(name, seed=self.seed)
         else:
             if self.scale is not None:
                 raise ConfigError(
@@ -78,6 +80,28 @@ class GraphSpec:
 
 #: Per-process memo of built graphs (GraphSpec is frozen and hashable).
 _GRAPH_MEMO: Dict[GraphSpec, CSRGraph] = {}
+
+#: Workloads that take no source vertex.
+SOURCELESS_WORKLOADS = ("cc", "pr")
+
+
+def resolve_source(
+    graph: CSRGraph, workload: str, source: Optional[int] = None
+) -> Optional[int]:
+    """The conventional default source: the highest-out-degree vertex.
+
+    Every front end (``repro run``, ``repro submit``, the service
+    scheduler) resolves an omitted source the same way so that the
+    resulting specs share one cache key.  Sourceless workloads always
+    map to ``None``.
+    """
+    if workload in SOURCELESS_WORKLOADS:
+        return None
+    if source is not None:
+        return int(source)
+    import numpy as np
+
+    return int(np.argmax(graph.out_degrees()))
 
 
 @dataclass

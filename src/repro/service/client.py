@@ -1,0 +1,167 @@
+"""Thin blocking HTTP client for the job service.
+
+Stdlib-only (``urllib``), mirroring the server's endpoints 1:1 and
+raising the same structured exceptions the service raises --
+:class:`~repro.errors.QueueFullError` on 429 (with depth/limit/retry
+hint rehydrated from the payload), :class:`~repro.errors.UnknownJobError`
+on 404, :class:`~repro.errors.JobStateError` on 409, and
+:class:`~repro.errors.ServiceUnavailableError` on 503 -- so callers and
+tests handle local and remote failures identically.  Used by ``repro
+submit`` / ``repro status`` / ``repro fetch``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import (
+    JobSpecError,
+    JobStateError,
+    QueueFullError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownJobError,
+)
+
+#: Terminal job states (mirrors :mod:`repro.service.store` without
+#: importing the simulator stack into light client contexts).
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(dict(body)).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None else self.timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+        return payload
+
+    @staticmethod
+    def _to_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            payload = {}
+        message = payload.get("message", f"HTTP {exc.code}")
+        if exc.code == 429:
+            return QueueFullError(
+                depth=int(payload.get("depth", 0)),
+                limit=int(payload.get("limit", 0)),
+                retry_after_seconds=float(
+                    payload.get("retry_after_seconds", 1.0)
+                ),
+            )
+        if exc.code == 404:
+            return UnknownJobError(payload.get("job_id", message))
+        if exc.code == 409:
+            return JobStateError(message, state=payload.get("state", ""))
+        if exc.code == 503:
+            return ServiceUnavailableError(message)
+        if exc.code == 400:
+            return JobSpecError(message)
+        return ServiceError(f"HTTP {exc.code}: {message}")
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        spec: Mapping[str, Any],
+        client: str = "anonymous",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit one job spec; returns the job record."""
+        payload = self._request(
+            "POST",
+            "/v1/jobs",
+            body={"spec": dict(spec), "client": client, "priority": priority},
+        )
+        return payload["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The completed run's JSON payload (job + result)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def events(
+        self, job_id: str, since: int = 0, timeout: float = 30.0
+    ) -> Tuple[List[Dict[str, Any]], int, str]:
+        """One long-poll round: ``(events, next_since, job_state)``."""
+        payload = self._request(
+            "GET",
+            f"/v1/jobs/{job_id}/events?since={int(since)}"
+            f"&timeout={timeout:g}",
+            timeout=timeout + 15.0,
+        )
+        return payload["events"], int(payload["next"]), payload["state"]
+
+    # -- conveniences ---------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_timeout: float = 15.0,
+    ) -> Dict[str, Any]:
+        """Long-poll events until the job settles; returns the job.
+
+        Raises :class:`ServiceError` when ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        since = 0
+        while True:
+            _, since, state = self.events(
+                job_id, since=since, timeout=poll_timeout
+            )
+            if state in _TERMINAL:
+                return self.job(job_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {state} after {timeout:g}s"
+                )

@@ -1,0 +1,474 @@
+"""Stdlib-only HTTP front end for the job service.
+
+A hand-rolled HTTP/1.1 server on ``asyncio.start_server`` -- no
+third-party web framework -- exposing the evaluation service:
+
+- ``POST   /v1/jobs``            submit ``{"spec": {...}, "client": ..,
+  "priority": ..}``; 201 on enqueue, 200 when answered from the run
+  cache, 429 + ``Retry-After`` under backpressure, 503 while draining
+- ``GET    /v1/jobs``            list jobs (most recent last)
+- ``GET    /v1/jobs/{id}``       one job's record
+- ``GET    /v1/jobs/{id}/result``  the completed run, JSON-rendered
+  from the run cache under the job's content-addressed key
+- ``GET    /v1/jobs/{id}/events``  long-poll (``?since=N&timeout=S``)
+  over the job's state changes and
+  :class:`~repro.runner.monitor.SweepMonitor` progress snapshots
+- ``DELETE /v1/jobs/{id}``       cancel a waiting job
+- ``GET    /healthz``            liveness + drain status
+- ``GET    /metrics``            the process-wide ``service.*`` /
+  ``sweep.*`` counters (:data:`~repro.obs.counters.FAULT_COUNTERS`)
+  plus scheduler queue/fairness gauges
+
+:class:`ReproService` composes store + scheduler + HTTP listener and
+owns the lifecycle: SIGTERM/SIGINT trigger a drain (running jobs
+finish, queued jobs persist for the next boot) before the loop exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro import __version__
+from repro.core.metrics import RunResult
+from repro.errors import (
+    JobSpecError,
+    JobStateError,
+    QueueFullError,
+    ReproError,
+    ServiceUnavailableError,
+    UnknownJobError,
+)
+from repro.obs.counters import FAULT_COUNTERS
+from repro.obs.tracing import trace_event
+from repro.runner.cache import RunCache
+from repro.runner.sweep import SweepRunner
+from repro.service.scheduler import JobScheduler
+from repro.service.store import DONE, JobSpec, JobStore
+
+#: Largest accepted request body (a job spec is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / mappings into JSON-native values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except Exception:
+            return value
+    return value
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """JSON-render one :class:`RunResult` (the result-endpoint payload).
+
+    The raw per-vertex ``result`` array is omitted -- it can be
+    millions of entries; clients that need values recompute locally or
+    read the shared cache.  Everything metric-shaped is included,
+    timeline included when the run was instrumented.
+    """
+    return _jsonable(
+        {
+            "workload": result.workload,
+            "system": result.system,
+            "num_vertices": result.num_vertices,
+            "num_edges": result.num_edges,
+            "elapsed_seconds": result.elapsed_seconds,
+            "quanta": result.quanta,
+            "edges_traversed": result.edges_traversed,
+            "messages_sent": result.messages_sent,
+            "messages_processed": result.messages_processed,
+            "useful_messages": result.useful_messages,
+            "redundant_messages": result.redundant_messages,
+            "coalesced_messages": result.coalesced_messages,
+            "activations": result.activations,
+            "breakdown": dict(result.breakdown),
+            "traffic": dict(result.traffic),
+            "utilization": dict(result.utilization),
+            "gteps": result.gteps,
+            "work_efficiency": result.work_efficiency,
+            "coalescing_rate": result.coalescing_rate,
+            "summary": result.describe(),
+            "timeline": result.timeline,
+        }
+    )
+
+
+class ServiceHTTP:
+    """Route parsed requests into the scheduler/store/cache."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        store: JobStore,
+        cache: Optional[RunCache],
+    ) -> None:
+        self.scheduler = scheduler
+        self.store = store
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload, headers = await self._dispatch_safe(reader)
+            await self._respond(writer, status, payload, headers)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch_safe(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        try:
+            method, path, query, body = await self._read_request(reader)
+        except _HttpError as exc:
+            return exc.status, {"error": exc.code, "message": str(exc)}, {}
+        try:
+            status, payload = await self._route(method, path, query, body)
+            return status, payload, {}
+        except _HttpError as exc:
+            return exc.status, {"error": exc.code, "message": str(exc)}, {}
+        except QueueFullError as exc:
+            FAULT_COUNTERS.increment("service.http.429")
+            payload = {
+                "error": "queue_full",
+                "message": str(exc),
+                "depth": exc.depth,
+                "limit": exc.limit,
+                "retry_after_seconds": exc.retry_after_seconds,
+            }
+            headers = {"Retry-After": f"{exc.retry_after_seconds:.0f}"}
+            return 429, payload, headers
+        except UnknownJobError as exc:
+            return 404, {"error": "unknown_job", "message": str(exc),
+                         "job_id": exc.job_id}, {}
+        except JobStateError as exc:
+            return 409, {"error": "job_state", "message": str(exc),
+                         "state": exc.state}, {}
+        except ServiceUnavailableError as exc:
+            return 503, {"error": "draining", "message": str(exc)}, {}
+        except JobSpecError as exc:
+            return 400, {"error": "bad_spec", "message": str(exc)}, {}
+        except ReproError as exc:
+            return 400, {"error": "bad_request", "message": str(exc)}, {}
+        except Exception as exc:  # noqa: BLE001 -- last-resort 500
+            FAULT_COUNTERS.increment("service.http.500")
+            return 500, {"error": "internal",
+                         "message": f"{type(exc).__name__}: {exc}"}, {}
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, list], Optional[Dict[str, Any]]]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpError(400, "empty_request", "empty request")
+        try:
+            method, target, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "bad_request_line", "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "body_too_large",
+                             f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body: Optional[Dict[str, Any]] = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise _HttpError(400, "bad_json", f"body is not JSON: {exc}")
+        parts = urlsplit(target)
+        return method.upper(), parts.path, parse_qs(parts.query), body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Dict[str, str],
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+            "Server": f"repro-service/{__version__}",
+        }
+        headers.update(extra_headers)
+        head = f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, list],
+        body: Optional[Dict[str, Any]],
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/metrics" and method == "GET":
+            return self._metrics()
+        if path == "/v1/jobs":
+            if method == "POST":
+                return await self._submit(body)
+            if method == "GET":
+                return self._list_jobs()
+            raise _HttpError(405, "method", f"{method} not allowed here")
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            if not job_id:
+                raise _HttpError(404, "not_found", f"no route {path!r}")
+            if not tail:
+                if method == "GET":
+                    return self._get_job(job_id)
+                if method == "DELETE":
+                    return await self._cancel(job_id)
+                raise _HttpError(405, "method", f"{method} not allowed here")
+            if tail == "result" and method == "GET":
+                return self._result(job_id)
+            if tail == "events" and method == "GET":
+                return await self._events(job_id, query)
+        raise _HttpError(404, "not_found", f"no route {method} {path!r}")
+
+    # -- endpoints ------------------------------------------------------
+
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        snap = self.scheduler.snapshot()
+        status = "draining" if snap["draining"] else "ok"
+        return 200, {"status": status, "version": __version__, **snap}
+
+    def _metrics(self) -> Tuple[int, Dict[str, Any]]:
+        counters = FAULT_COUNTERS.snapshot()
+        return 200, {
+            "counters": counters,
+            "service": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("service.")
+            },
+            "scheduler": self.scheduler.snapshot(),
+        }
+
+    async def _submit(
+        self, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(body, dict):
+            raise JobSpecError("POST /v1/jobs needs a JSON object body")
+        spec = JobSpec.from_dict(body.get("spec", {}))
+        client = str(body.get("client", "anonymous"))
+        try:
+            priority = int(body.get("priority", 0))
+        except (TypeError, ValueError):
+            raise JobSpecError("priority must be an integer") from None
+        job = await self.scheduler.submit(spec, client=client,
+                                          priority=priority)
+        status = 200 if job.cached else 201
+        return status, {"job": job.to_dict()}
+
+    def _list_jobs(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"jobs": [job.to_dict() for job in self.store.jobs()]}
+
+    def _get_job(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"job": self.store.get(job_id).to_dict()}
+
+    async def _cancel(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        job = await self.scheduler.cancel(job_id)
+        return 200, {"job": job.to_dict()}
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        job = self.store.get(job_id)
+        if job.state != DONE:
+            raise JobStateError(
+                f"job {job_id} has no result (state: {job.state})",
+                state=job.state,
+            )
+        if self.cache is None or job.key is None:
+            raise JobStateError(
+                f"job {job_id} completed but the service runs cacheless",
+                state=job.state,
+            )
+        result = self.cache.load(job.key)
+        if result is None:
+            # Evicted between completion and fetch: the contract is
+            # content-addressed storage, so report the gap honestly.
+            raise UnknownJobError(job_id)
+        return 200, {
+            "job": job.to_dict(),
+            "result": run_result_to_dict(result),
+        }
+
+    async def _events(
+        self, job_id: str, query: Dict[str, list]
+    ) -> Tuple[int, Dict[str, Any]]:
+        def _one(name: str, default: float) -> float:
+            values = query.get(name)
+            if not values:
+                return default
+            try:
+                return float(values[-1])
+            except ValueError:
+                raise _HttpError(400, "bad_query",
+                                 f"{name} must be a number") from None
+
+        since = int(_one("since", 0))
+        timeout = min(120.0, max(0.0, _one("timeout", 30.0)))
+        events, nxt = await self.scheduler.events_since(
+            job_id, since=since, timeout=timeout
+        )
+        job = self.store.get(job_id)
+        return 200, {
+            "events": _jsonable(events),
+            "next": nxt,
+            "state": job.state,
+        }
+
+
+class _HttpError(Exception):
+    """Protocol-level rejection with a concrete status code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        self.status = status
+        self.code = code
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# Composed server
+# ----------------------------------------------------------------------
+
+
+class ReproService:
+    """Store + scheduler + HTTP listener with a drain-on-signal lifecycle.
+
+    ``serve_forever`` runs until :meth:`shutdown` is called (SIGTERM and
+    SIGINT are wired to it): the listener closes, the scheduler drains
+    (running jobs finish within ``drain_timeout``; queued jobs stay
+    persisted), and the store compacts, so a restarted server resumes
+    exactly the queued work.
+    """
+
+    def __init__(
+        self,
+        service_dir: str,
+        cache_dir: Optional[str] = None,
+        runner: Optional[SweepRunner] = None,
+        max_queue_depth: int = 64,
+        job_workers: int = 2,
+        drain_timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.store = JobStore(service_dir)
+        self.runner = (
+            runner
+            if runner is not None
+            else SweepRunner(workers=1, cache_dir=cache_dir)
+        )
+        self.scheduler = JobScheduler(
+            self.store,
+            runner=self.runner,
+            max_queue_depth=max_queue_depth,
+            job_workers=job_workers,
+        )
+        self.http = ServiceHTTP(self.scheduler, self.store, self.runner.cache)
+        self.drain_timeout = drain_timeout
+        self._stop: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the listener, recover persisted jobs, start workers.
+
+        Returns the bound port (useful with ``port=0``).
+        """
+        self._stop = asyncio.Event()
+        resumed = await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self.http.handle, host=host, port=port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        trace_event("service.start", host=host, port=self.port,
+                    resumed=resumed)
+        return self.port
+
+    def shutdown(self) -> None:
+        """Request a graceful drain-and-exit (signal-handler safe)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix or nested loop: rely on KeyboardInterrupt
+
+    async def serve_forever(
+        self, host: str = "127.0.0.1", port: int = 0, on_ready=None
+    ) -> Dict[str, int]:
+        """Run until a shutdown signal, then drain.  Returns the drain
+        summary (queued jobs left persisted, whether running finished).
+        ``on_ready(port)`` fires once the listener is bound.
+        """
+        bound = await self.start(host=host, port=port)
+        self._install_signal_handlers()
+        if on_ready is not None:
+            on_ready(bound)
+        assert self._stop is not None
+        await self._stop.wait()
+        return await self.stop()
+
+    async def stop(self) -> Dict[str, int]:
+        """Close the listener, drain the scheduler, compact the store."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        summary = await self.scheduler.drain(timeout=self.drain_timeout)
+        self.store.compact()
+        trace_event("service.stop", **summary)
+        return summary

@@ -1,0 +1,486 @@
+"""Durable job state: specs, the job state machine, and the JSONL store.
+
+A *job* is one simulation the service has promised to run (or to answer
+from the run cache).  Its specification (:class:`JobSpec`) is pure
+JSON-native data that lowers onto the existing
+:class:`~repro.runner.spec.RunSpec` / :class:`~repro.runner.spec.GraphSpec`
+pair -- so a submitted job digests into exactly the same
+content-addressed cache key a ``repro run`` or ``repro sweep`` of the
+same inputs would, and identical submissions dedupe against the
+:class:`~repro.runner.cache.RunCache` before any compute happens.
+
+State machine (see DESIGN.md for the full contract)::
+
+    submitted --> queued --> running --> done
+         |           |          |    \\-> failed
+         |           |          \\------> queued     (crash requeue)
+         |           \\-----------------> cancelled
+         |\\----------------------------> done       (cache hit)
+         \\-----------------------------> cancelled
+
+Durability is an append-only JSONL journal: every state change appends
+the job's full record, so recovery is "replay, last record per id
+wins" and a hard kill loses at most one torn trailing line.  The
+journal compacts automatically once it accumulates enough superseded
+records (rewrite-to-temp + ``os.replace``, crash-safe).  Results are
+*not* journaled -- they live in the run cache under the job's spec key,
+which the journal records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import JobSpecError, JobStateError, UnknownJobError
+from repro.runner.spec import (
+    SOURCELESS_WORKLOADS,
+    GraphSpec,
+    RunSpec,
+    resolve_source,
+)
+
+#: Journal format version (header record of every journal file).
+SERVICE_SCHEMA = 1
+
+# ----------------------------------------------------------------------
+# Job states
+# ----------------------------------------------------------------------
+
+SUBMITTED = "submitted"
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (SUBMITTED, QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: Legal transitions.  ``submitted -> done`` is the cache-hit shortcut;
+#: ``submitted -> failed`` a spec that fails to lower at admission;
+#: ``running -> queued`` is the crash-recovery requeue.
+TRANSITIONS: Dict[str, tuple] = {
+    SUBMITTED: (QUEUED, DONE, FAILED, CANCELLED),
+    QUEUED: (RUNNING, CANCELLED),
+    RUNNING: (DONE, FAILED, QUEUED, CANCELLED),
+    DONE: (),
+    FAILED: (),
+    CANCELLED: (),
+}
+
+
+# ----------------------------------------------------------------------
+# Job specification
+# ----------------------------------------------------------------------
+
+_KNOWN_WORKLOADS = ("bfs", "cc", "sssp", "pr", "bc")
+_PLACEMENTS = ("interleave", "random", "load_balanced", "locality")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """JSON-native description of one simulation job.
+
+    Mirrors the knobs of ``repro run`` / one sweep-grid cell.  ``gpns``
+    and ``scale`` parameterize the NOVA config (``onchip`` the
+    PolyGraph one); ``timeline`` requests an instrumented run whose
+    result carries a per-quantum timeline.  ``source=None`` on a
+    traversal workload resolves to the graph's highest-out-degree
+    vertex at admission (the same default every CLI path uses), so the
+    resolved spec -- and its cache key -- is deterministic.
+    """
+
+    workload: str
+    graph: str
+    seed: int = 42
+    system: str = "nova"
+    gpns: int = 1
+    scale: float = 1.0 / 256.0
+    source: Optional[int] = None
+    placement: str = "random"
+    placement_seed: int = 1
+    max_quanta: int = 5_000_000
+    onchip: Optional[str] = None
+    workload_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    timeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workload not in _KNOWN_WORKLOADS:
+            raise JobSpecError(
+                f"unknown workload {self.workload!r}; choose from "
+                f"{', '.join(_KNOWN_WORKLOADS)}"
+            )
+        if not isinstance(self.graph, str) or not self.graph:
+            raise JobSpecError("graph must be a non-empty specifier string")
+        if self.placement not in _PLACEMENTS:
+            raise JobSpecError(
+                f"unknown placement {self.placement!r}; choose from "
+                f"{', '.join(_PLACEMENTS)}"
+            )
+        if self.gpns < 1:
+            raise JobSpecError(f"gpns must be >= 1, got {self.gpns}")
+        if self.scale <= 0:
+            raise JobSpecError(f"scale must be positive, got {self.scale}")
+        if self.max_quanta < 1:
+            raise JobSpecError(
+                f"max_quanta must be >= 1, got {self.max_quanta}"
+            )
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["workload_kwargs"] = dict(self.workload_kwargs)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        if not isinstance(data, Mapping):
+            raise JobSpecError(
+                f"job spec must be an object, got {type(data).__name__}"
+            )
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise JobSpecError(
+                f"unknown job-spec field(s): {', '.join(unknown)}"
+            )
+        if "workload" not in data or "graph" not in data:
+            raise JobSpecError("job spec needs 'workload' and 'graph'")
+        try:
+            return cls(**dict(data))
+        except TypeError as exc:
+            raise JobSpecError(f"bad job spec: {exc}") from None
+
+    # -- lowering -------------------------------------------------------
+
+    def to_run_spec(self) -> RunSpec:
+        """Lower to a :class:`RunSpec` with the source resolved.
+
+        Builds the graph (memoized per process) when the default source
+        must be resolved; system configs are constructed exactly the
+        way the CLI constructs them, so keys line up with ``repro
+        run`` / ``repro sweep``.
+        """
+        gspec = GraphSpec(
+            self.graph,
+            seed=self.seed,
+            weighted=(self.workload == "sssp"),
+            symmetrized=(self.workload == "cc"),
+        )
+        source = self.source
+        if self.workload in SOURCELESS_WORKLOADS:
+            source = None
+        elif source is None:
+            source = resolve_source(gspec.build(), self.workload)
+        config = None
+        if self.system == "nova":
+            from repro.sim.config import scaled_config
+
+            config = scaled_config(num_gpns=self.gpns, scale=self.scale)
+        elif self.system == "polygraph":
+            from repro.baselines.polygraph import PolyGraphConfig
+            from repro.units import MiB
+
+            if self.onchip is not None:
+                from repro.cli import parse_size
+
+                onchip = parse_size(self.onchip)
+            else:
+                onchip = int(32 * MiB * self.scale)
+            config = PolyGraphConfig(onchip_bytes=onchip)
+        elif self.system == "ligra":
+            from repro.baselines.ligra import LigraConfig
+
+            config = LigraConfig()
+        obs = None
+        if self.timeline:
+            from repro.obs.config import ObsConfig
+
+            obs = ObsConfig(timeline=True)
+        return RunSpec(
+            self.workload,
+            gspec,
+            config=config,
+            system=self.system,
+            source=source,
+            placement=self.placement,
+            placement_seed=self.placement_seed,
+            max_quanta=self.max_quanta,
+            workload_kwargs=dict(self.workload_kwargs),
+            obs=obs,
+        )
+
+
+# ----------------------------------------------------------------------
+# Job record
+# ----------------------------------------------------------------------
+
+
+def new_job_id() -> str:
+    return "j-" + uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One job's durable record (everything the journal persists)."""
+
+    id: str
+    spec: JobSpec
+    client: str = "anonymous"
+    priority: int = 0
+    state: str = SUBMITTED
+    seq: int = 0
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    #: Content-addressed run-cache key of the lowered spec (filled at
+    #: admission; the result endpoint reads the cache under this key).
+    key: Optional[str] = None
+    #: True when the job was answered from the cache with no compute.
+    cached: bool = False
+    attempts: int = 0
+    error_kind: Optional[str] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+
+    def transition(self, new_state: str, now: Optional[float] = None) -> None:
+        """Move to ``new_state``, enforcing the state machine."""
+        if new_state not in JOB_STATES:
+            raise JobStateError(f"unknown job state {new_state!r}")
+        if new_state not in TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.id} cannot go {self.state} -> {new_state}",
+                state=self.state,
+            )
+        self.state = new_state
+        self.updated_at = time.time() if now is None else now
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["spec"] = self.spec.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        payload = dict(data)
+        payload["spec"] = JobSpec.from_dict(payload.get("spec", {}))
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - names
+        for name in unknown:  # forward compatibility: ignore new fields
+            payload.pop(name)
+        return cls(**payload)
+
+
+# ----------------------------------------------------------------------
+# Durable store
+# ----------------------------------------------------------------------
+
+
+class JobStore:
+    """Append-only JSONL journal of job records with compaction.
+
+    Every :meth:`put` appends the job's full record; the in-memory view
+    is "last record per id wins".  The journal compacts itself (atomic
+    rewrite) once superseded records outnumber
+    ``compact_slack * live-records`` past a floor, so steady-state disk
+    use is proportional to the number of jobs, not state changes.
+    Thread-safe: the scheduler writes from executor threads.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        compact_min_records: int = 256,
+        compact_slack: float = 4.0,
+    ) -> None:
+        self.root = root
+        self.path = os.path.join(root, "jobs.jsonl")
+        self.compact_min_records = compact_min_records
+        self.compact_slack = compact_slack
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._records_on_disk = 0
+        self._load()
+
+    # -- loading --------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from a hard kill
+            self._records_on_disk += 1
+            if record.get("op") != "job":
+                continue  # header / future record kinds
+            try:
+                job = Job.from_dict(record["job"])
+            except Exception:
+                continue  # one bad record must not poison recovery
+            self._jobs[job.id] = job
+            self._seq = max(self._seq, job.seq)
+
+    # -- mutation -------------------------------------------------------
+
+    def create(
+        self,
+        spec: JobSpec,
+        client: str = "anonymous",
+        priority: int = 0,
+    ) -> Job:
+        """Mint and persist a new job in the ``submitted`` state."""
+        now = time.time()
+        with self._lock:
+            self._seq += 1
+            job = Job(
+                id=new_job_id(),
+                spec=spec,
+                client=client,
+                priority=int(priority),
+                state=SUBMITTED,
+                seq=self._seq,
+                created_at=now,
+                updated_at=now,
+            )
+            self._jobs[job.id] = job
+            self._append(job)
+        return job
+
+    def put(self, job: Job) -> None:
+        """Persist ``job``'s current record (after any state change)."""
+        with self._lock:
+            self._jobs[job.id] = job
+            self._append(job)
+
+    def _append(self, job: Job) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        fresh = not os.path.exists(self.path)
+        record = {"op": "job", "job": job.to_dict()}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as f:
+            if fresh:
+                header = json.dumps(
+                    {"op": "header", "schema": SERVICE_SCHEMA},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                f.write(header + "\n")
+                self._records_on_disk += 1
+            f.write(line + "\n")
+        self._records_on_disk += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        live = len(self._jobs) + 1  # + header
+        threshold = max(
+            self.compact_min_records, int(live * self.compact_slack)
+        )
+        if self._records_on_disk <= threshold:
+            return
+        self._compact()
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal to one record per live job."""
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".jobs-", suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(
+                    json.dumps(
+                        {"op": "header", "schema": SERVICE_SCHEMA},
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                for job in sorted(self._jobs.values(), key=lambda j: j.seq):
+                    record = {"op": "job", "job": job.to_dict()}
+                    f.write(
+                        json.dumps(
+                            record, sort_keys=True, separators=(",", ":")
+                        )
+                        + "\n"
+                    )
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._records_on_disk = len(self._jobs) + 1
+
+    def compact(self) -> None:
+        with self._lock:
+            self._compact()
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def jobs(self) -> List[Job]:
+        """All jobs, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def counts(self) -> Dict[str, int]:
+        out = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            out[job.state] += 1
+        return out
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> List[Job]:
+        """Requeue interrupted work; return jobs needing (re)scheduling.
+
+        Jobs found ``running`` were interrupted by a crash or an unclean
+        shutdown: they transition back to ``queued`` (their worker is
+        gone; the run cache may still absorb any half-finished compute
+        as a future hit).  Returns every ``queued`` job plus any
+        ``submitted`` stragglers, oldest first, for the scheduler to
+        re-enqueue.
+        """
+        resumable: List[Job] = []
+        for job in self.jobs():
+            if job.state == RUNNING:
+                job.transition(QUEUED)
+                self.put(job)
+                resumable.append(job)
+            elif job.state == QUEUED:
+                resumable.append(job)
+            elif job.state == SUBMITTED:
+                # Crashed between admission and enqueue: treat as queued.
+                job.transition(QUEUED)
+                self.put(job)
+                resumable.append(job)
+        resumable.sort(key=lambda j: j.seq)
+        return resumable

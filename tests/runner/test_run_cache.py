@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 
 import numpy as np
@@ -211,6 +212,62 @@ class TestRunCache:
         # The entry is gone (prune won), so the next load is a miss.
         monkeypatch.undo()
         assert cache.load(key) is None
+
+    def test_concurrent_writers_never_corrupt_or_crash(
+        self, tmp_path, graph, config
+    ):
+        """Real multi-process contention on one key.
+
+        Four forked processes hammer the same entry with store(),
+        load(), and full prune() concurrently.  The atomic-replace +
+        verified-payload contract means every load must observe either
+        a miss or a complete, digest-valid result -- never a torn one
+        -- and no writer may crash on a racing unlink.
+        """
+        spec = bfs_spec(graph, config)
+        key = spec_key(spec)
+        result = execute_spec(spec)
+        ctx = multiprocessing.get_context("fork")
+        nproc, iters = 4, 25
+        barrier = ctx.Barrier(nproc)
+        failures = ctx.Queue()
+
+        def hammer(rank):
+            cache = RunCache(str(tmp_path))
+            barrier.wait(timeout=60)
+            try:
+                for i in range(iters):
+                    cache.store(key, result)
+                    loaded = cache.load(key)
+                    if loaded is not None and (
+                        loaded.quanta != result.quanta
+                        or not np.array_equal(loaded.result, result.result)
+                    ):
+                        failures.put(f"rank {rank}: corrupt load at {i}")
+                        return
+                    if i % 5 == rank:  # staggered full evictions
+                        cache.prune(0)
+            except Exception as exc:  # noqa: BLE001 -- report, don't hang
+                failures.put(f"rank {rank}: {type(exc).__name__}: {exc}")
+
+        procs = [
+            ctx.Process(target=hammer, args=(rank,)) for rank in range(nproc)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+        assert not any(proc.exitcode != 0 for proc in procs)
+        errors = []
+        while not failures.empty():
+            errors.append(failures.get_nowait())
+        assert errors == []
+        # The survivors left a usable cache: one more store/load cycle.
+        cache = RunCache(str(tmp_path))
+        cache.store(key, result)
+        final = cache.load(key)
+        assert final is not None
+        assert final.quanta == result.quanta
 
     def test_prune_drops_lru_entries(self, tmp_path, graph, config):
         cache = RunCache(str(tmp_path))

@@ -66,14 +66,45 @@ class TestCommands:
         assert "nova/bfs" in out
         assert "verified" in out
 
-    def test_run_polygraph(self, capsys):
+    def test_run_polygraph(self, tmp_path, capsys):
         assert main(["run", "--system", "polygraph", "--graph", "rmat:10:8",
-                     "--onchip", "2KiB"]) == 0
+                     "--onchip", "2KiB",
+                     "--cache-dir", str(tmp_path)]) == 0
         assert "polygraph/bfs" in capsys.readouterr().out
 
-    def test_run_ligra(self, capsys):
-        assert main(["run", "--system", "ligra", "--graph", "rmat:10:8"]) == 0
+    def test_run_ligra(self, tmp_path, capsys):
+        assert main(["run", "--system", "ligra", "--graph", "rmat:10:8",
+                     "--cache-dir", str(tmp_path)]) == 0
         assert "ligra/bfs" in capsys.readouterr().out
+
+    def test_run_uses_the_run_cache(self, tmp_path, capsys):
+        args = ["run", "--graph", "rmat:9:8", "--workload", "bfs",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache miss" in first
+        # The repeat answers from the cache with the identical report.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+    def test_run_no_cache_bypasses(self, tmp_path, capsys):
+        assert main(["run", "--graph", "rmat:9:8", "--no-cache",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache miss" not in out and "cache hit" not in out
+        assert not any(tmp_path.iterdir())  # nothing stored either
+
+    def test_run_seed_is_part_of_the_key(self, tmp_path, capsys):
+        base = ["run", "--graph", "rmat:9:8", "--cache-dir", str(tmp_path)]
+        assert main(base + ["--seed", "1"]) == 0
+        assert "cache miss" in capsys.readouterr().out
+        # A different graph seed is a different run, not a cache hit.
+        assert main(base + ["--seed", "2"]) == 0
+        assert "cache miss" in capsys.readouterr().out
+        assert main(base + ["--seed", "1"]) == 0
+        assert "cache hit" in capsys.readouterr().out
 
     def test_run_sssp_auto_weights(self, capsys):
         assert main(["run", "--graph", "rmat:10:8", "--workload", "sssp",
@@ -112,6 +143,11 @@ class TestCommands:
 
     def test_error_path(self, capsys):
         assert main(["run", "--graph", "nope:1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_unreachable_service(self, capsys):
+        # Nothing listens on a reserved port: a clean error, not a dump.
+        assert main(["status", "--url", "http://127.0.0.1:1"]) == 1
         assert "error:" in capsys.readouterr().err
 
     def test_profile(self, tmp_path, capsys):

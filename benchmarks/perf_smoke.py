@@ -28,6 +28,13 @@ default (uninstrumented) vectorized hot path must stay within
 (TimelineRecorder + PhaseProfiler) run is also timed for information,
 and the whole comparison is written to ``benchmarks/results/BENCH_obs.json``.
 
+Graph artifact store: a multi-worker sweep of same-graph cells must
+build the graph exactly once on a cold store and zero times on a warm
+one (counter-asserted, deterministic, part of ``--check-only``); the
+full run additionally measures the cold-vs-warm sweep wall clock and a
+map-vs-rebuild microbench, gates mapping on ``MIN_MAP_SPEEDUP``, and
+writes ``benchmarks/results/BENCH_graph_store.json``.
+
 Regression tracking: ``--against <path>`` compares this invocation's
 metrics to the rolling-median baseline kept in an append-only
 git-SHA-stamped history (:class:`repro.obs.bench_history.BenchHistory`;
@@ -56,6 +63,7 @@ from repro.obs import ObsConfig, make_recorder
 from repro.runner import RunSpec, SweepRunner
 
 MIN_SPEEDUP = 2.0
+MIN_MAP_SPEEDUP = 2.0  # mapping a stored graph must beat rebuilding it
 OBS_MAX_OVERHEAD = 0.03  # NullRecorder may cost <3% vs the committed baseline
 GATE_ATTEMPTS = 3  # re-measure a failing overhead gate before declaring it real
 TRIALS = 3  # minimum trials per variant
@@ -321,6 +329,130 @@ def check_fault_isolation() -> dict:
     }
 
 
+def check_graph_store(timed: bool = True) -> dict:
+    """Exercise the content-addressed graph artifact store end to end.
+
+    Functional half (always, deterministic): a multi-worker sweep of N
+    same-graph cells builds the graph exactly once on a cold store and
+    zero times on a warm one (asserted via the ``graph_store.*``
+    counters), and the warm (memmap-backed) runs are bit-identical to
+    the cold runs.
+
+    Timing half (skipped under ``--check-only``): the cold-vs-warm
+    end-to-end sweep wall clock, plus a map-vs-rebuild microbench on the
+    published artifact, gated on ``MIN_MAP_SPEEDUP``.  Both speedups go
+    into ``BENCH_graph_store.json`` as history metrics.
+    """
+    from repro.graph.store import GraphStore, spec_digest
+    from repro.obs.counters import FAULT_COUNTERS
+    from repro.runner.spec import GraphSpec, _GRAPH_MEMO
+
+    def store_delta(base):
+        return {
+            name: count
+            for name, count in FAULT_COUNTERS.delta_since(base).items()
+            if name.startswith("graph_store.")
+        }
+
+    def timed_sweep(cache_dir):
+        _GRAPH_MEMO.clear()
+        base = FAULT_COUNTERS.snapshot()
+        start = time.perf_counter()
+        results, _ = SweepRunner(workers=2, cache_dir=cache_dir).run(specs)
+        return results, time.perf_counter() - start, store_delta(base)
+
+    graph_spec = GraphSpec("rmat:15:8", seed=5)
+    config = scaled_config(num_gpns=2, scale=1.0 / 1024.0)
+    specs = [
+        RunSpec("bfs", graph_spec, config=config, source=s) for s in range(4)
+    ]
+    saved = {
+        name: os.environ.get(name)
+        for name in ("REPRO_GRAPH_STORE", "REPRO_GRAPH_STORE_DIR")
+    }
+    report = {"cells": len(specs), "graph": graph_spec.spec, "ok": True}
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = os.path.join(tmp, "graphs")
+        os.environ["REPRO_GRAPH_STORE_DIR"] = store_dir
+        os.environ.pop("REPRO_GRAPH_STORE", None)
+        try:
+            cold_results, cold_wall, cold = timed_sweep(
+                os.path.join(tmp, "cache-cold")
+            )
+            warm_results, warm_wall, warm = timed_sweep(
+                os.path.join(tmp, "cache-warm")
+            )
+            report["cold_counters"] = cold
+            report["warm_counters"] = warm
+            report["builds_exactly_once"] = (
+                cold.get("graph_store.builds") == 1
+                and "graph_store.builds" not in warm
+                and warm.get("graph_store.hits", 0) >= 1
+            )
+            report["cold_warm_parity"] = all(
+                same_result(a, b)
+                for a, b in zip(cold_results, warm_results)
+            )
+            if not (report["builds_exactly_once"] and report["cold_warm_parity"]):
+                report["ok"] = False
+
+            if timed:
+                store = GraphStore(store_dir)
+                digest = spec_digest(graph_spec)
+                map_walls, build_walls = [], []
+                for _ in range(TRIALS):
+                    start = time.perf_counter()
+                    mapped = store.load(digest)
+                    map_walls.append(time.perf_counter() - start)
+                    start = time.perf_counter()
+                    built = graph_spec.build_uncached()
+                    build_walls.append(time.perf_counter() - start)
+                map_parity = np.array_equal(mapped.col_idx, built.col_idx)
+                map_speedup = statistics.median(build_walls) / max(
+                    statistics.median(map_walls), 1e-9
+                )
+                report.update(
+                    cold_sweep_wall_seconds=cold_wall,
+                    warm_sweep_wall_seconds=warm_wall,
+                    build_wall_seconds=statistics.median(build_walls),
+                    map_wall_seconds=statistics.median(map_walls),
+                    map_parity=map_parity,
+                    min_map_speedup=MIN_MAP_SPEEDUP,
+                    metrics={
+                        "map_speedup": map_speedup,
+                        "sweep_speedup": cold_wall / max(warm_wall, 1e-9),
+                    },
+                )
+                if map_speedup < MIN_MAP_SPEEDUP or not map_parity:
+                    report["ok"] = False
+        finally:
+            _GRAPH_MEMO.clear()
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+
+    line = (
+        f"graph store: {len(specs)} same-graph cells  cold "
+        f"{report['cold_counters']} warm {report['warm_counters']}  "
+        f"build-once={report['builds_exactly_once']} "
+        f"parity={report['cold_warm_parity']}"
+    )
+    if timed:
+        metrics = report["metrics"]
+        line += (
+            f"\ngraph store: sweep cold {report['cold_sweep_wall_seconds']:.3f}s"
+            f" -> warm {report['warm_sweep_wall_seconds']:.3f}s "
+            f"({metrics['sweep_speedup']:.2f}x)  map "
+            f"{report['map_wall_seconds'] * 1e3:.1f}ms vs rebuild "
+            f"{report['build_wall_seconds'] * 1e3:.1f}ms "
+            f"({metrics['map_speedup']:.1f}x, gate {MIN_MAP_SPEEDUP:.0f}x)"
+        )
+    print(line + f"  [{'ok' if report['ok'] else 'FAIL'}]")
+    return report
+
+
 def check_bench_history(against: str, metrics: dict, out_dir: str) -> bool:
     """Gate ``metrics`` against the rolling-median history at ``against``.
 
@@ -366,6 +498,8 @@ def run_functional_checks() -> bool:
         f"[{'ok' if fault_report['ok'] else 'FAIL'}]"
     )
     if not fault_report["ok"]:
+        ok = False
+    if not check_graph_store(timed=False)["ok"]:
         ok = False
     return ok
 
@@ -461,6 +595,10 @@ def main(argv=None) -> int:
     if not obs_report["ok"]:
         failed = True
 
+    store_report = check_graph_store(timed=True)
+    if not store_report["ok"]:
+        failed = True
+
     os.makedirs(out_dir, exist_ok=True)
     out_path = os.path.join(out_dir, "BENCH_hotpath.json")
     with open(out_path, "w", encoding="utf-8") as f:
@@ -470,12 +608,18 @@ def main(argv=None) -> int:
     with open(obs_path, "w", encoding="utf-8") as f:
         json.dump(obs_report, f, indent=2)
     print(f"wrote {obs_path}")
+    store_path = os.path.join(out_dir, "BENCH_graph_store.json")
+    with open(store_path, "w", encoding="utf-8") as f:
+        json.dump(store_report, f, indent=2)
+    print(f"wrote {store_path}")
 
     if against is not None:
         from repro.obs.bench_history import metrics_from_reports
 
         metrics = metrics_from_reports(
-            report["cases"], obs_report.get("cases", {})
+            report["cases"],
+            obs_report.get("cases", {}),
+            store_report.get("metrics", {}),
         )
         if not check_bench_history(against, metrics, out_dir):
             failed = True

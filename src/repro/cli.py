@@ -15,6 +15,10 @@ Commands:
 - ``submit``    post one simulation job to a running service
 - ``status``    service health + job ledger (or one job's detail)
 - ``fetch``     download a completed job's result as JSON
+- ``graph``     manage the content-addressed graph artifact store
+  (``build`` prebuilds mmap-able CSR artifacts, ``ls`` lists them,
+  ``gc`` evicts least-recently-used artifacts past a byte budget --
+  see :mod:`repro.graph.store`)
 - ``generate``  build a synthetic graph and save it
 - ``info``      print the system configuration (Table II) and tracker sizing
 - ``resources`` print Table IV terascale requirements
@@ -498,6 +502,126 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graph_variants(args: argparse.Namespace):
+    """The GraphSpec recipes a ``repro graph build`` invocation names.
+
+    ``--workloads`` mirrors the sweep grid's per-workload variants
+    (sssp runs weighted, cc symmetrized), so prebuilding with the same
+    workload list guarantees the sweep's exact artifacts exist.
+    """
+    from repro.runner import GraphSpec
+
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        variants = {}
+        for workload in workloads:
+            gspec = GraphSpec(
+                args.graph,
+                seed=args.seed,
+                scale=args.scale,
+                weighted=(workload == "sssp"),
+                symmetrized=(workload == "cc"),
+            )
+            variants[gspec] = None  # de-dup, preserve order
+        return list(variants)
+    return [
+        GraphSpec(
+            args.graph,
+            seed=args.seed,
+            scale=args.scale,
+            weighted=args.weighted,
+            symmetrized=args.symmetrized,
+        )
+    ]
+
+
+def _cmd_graph_build(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.graph.store import GraphStore, spec_digest
+
+    store = GraphStore(args.store_dir)
+    for gspec in _graph_variants(args):
+        digest = spec_digest(gspec)
+        known = store.load(digest) is not None
+        start = time.perf_counter()
+        graph = store.get_or_build(gspec, gspec.build_uncached)
+        elapsed = time.perf_counter() - start
+        action = "mapped" if known else "built"
+        flags = "".join(
+            label
+            for label, on in (
+                ("+w", gspec.weighted),
+                ("+sym", gspec.symmetrized),
+            )
+            if on
+        )
+        print(
+            f"{action} {digest[:12]} {gspec.spec}{flags} "
+            f"V={graph.num_vertices} E={graph.num_edges} "
+            f"({elapsed:.2f}s, {store.root})"
+        )
+    return 0
+
+
+def _cmd_graph_ls(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.graph.store import GraphStore
+
+    store = GraphStore(args.store_dir)
+    entries = list(store.entries())
+    if not entries:
+        print(f"no graph artifacts in {store.root}")
+        return 0
+    print(f"{'digest':>12} {'spec':>24} {'V':>9} {'E':>11} {'size':>10} "
+          f"{'last use':>9}")
+    total = 0
+    now = time.time()
+    for digest, size, mtime, manifest in sorted(
+        entries, key=lambda item: item[2], reverse=True
+    ):
+        total += size
+        prov = manifest.get("provenance") or {}
+        spec_fields = prov.get("spec") or {}
+        label = spec_fields.get("spec", "?")
+        if spec_fields.get("weighted"):
+            label += "+w"
+        if spec_fields.get("symmetrized"):
+            label += "+sym"
+        age = max(0.0, now - mtime)
+        if age < 120:
+            age_text = f"{age:.0f}s ago"
+        elif age < 7200:
+            age_text = f"{age / 60:.0f}m ago"
+        else:
+            age_text = f"{age / 3600:.0f}h ago"
+        print(
+            f"{digest[:12]:>12} {label:>24} "
+            f"{manifest.get('num_vertices', 0):>9} "
+            f"{manifest.get('num_edges', 0):>11} "
+            f"{bytes_to_human(size):>10} {age_text:>9}"
+        )
+    print(f"{len(entries)} artifact(s), {bytes_to_human(total)} in {store.root}")
+    return 0
+
+
+def _cmd_graph_gc(args: argparse.Namespace) -> int:
+    from repro.graph.store import GraphStore
+
+    store = GraphStore(args.store_dir)
+    max_bytes = parse_size(args.max_bytes)
+    before = store.total_bytes()
+    removed = store.prune(max_bytes)
+    after = store.total_bytes()
+    print(
+        f"evicted {removed} artifact(s): {bytes_to_human(before)} -> "
+        f"{bytes_to_human(after)} (budget {bytes_to_human(max_bytes)}, "
+        f"{store.root})"
+    )
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = build_graph(args.kind, seed=args.seed)
     if args.weights:
@@ -910,6 +1034,50 @@ def make_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--json", default=None,
                        help="write the payload here instead of stdout")
     fetch.set_defaults(func=_cmd_fetch)
+
+    graph = sub.add_parser(
+        "graph",
+        help="manage the graph artifact store (build once, mmap everywhere)",
+    )
+    gsub = graph.add_subparsers(dest="graph_command", required=True)
+
+    def add_store_arg(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--store-dir", default=None,
+                            help="artifact store root (default: "
+                                 "REPRO_GRAPH_STORE_DIR or <cache>/graphs)")
+
+    gbuild = gsub.add_parser(
+        "build",
+        help="prebuild a graph artifact so later runs map instead of build",
+    )
+    gbuild.add_argument("--graph", required=True,
+                        help="graph specifier (see --help header)")
+    gbuild.add_argument("--seed", type=int, default=42)
+    gbuild.add_argument("--scale", type=float, default=None,
+                        help="suite: graph scale (default: suite default)")
+    gbuild.add_argument("--weighted", action="store_true",
+                        help="attach uniform edge weights (the sssp variant)")
+    gbuild.add_argument("--symmetrized", action="store_true",
+                        help="symmetrize edges (the cc variant)")
+    gbuild.add_argument("--workloads", default=None,
+                        help="comma-separated workload list; builds the "
+                             "exact per-workload variants a sweep over "
+                             "these workloads will map (overrides "
+                             "--weighted/--symmetrized)")
+    add_store_arg(gbuild)
+    gbuild.set_defaults(func=_cmd_graph_build)
+
+    gls = gsub.add_parser("ls", help="list stored graph artifacts")
+    add_store_arg(gls)
+    gls.set_defaults(func=_cmd_graph_ls)
+
+    ggc = gsub.add_parser(
+        "gc", help="evict least-recently-used artifacts past a byte budget"
+    )
+    ggc.add_argument("--max-bytes", required=True,
+                     help="byte budget, e.g. 512MiB or 2GiB")
+    add_store_arg(ggc)
+    ggc.set_defaults(func=_cmd_graph_gc)
 
     gen = sub.add_parser("generate", help="build and save a graph")
     gen.add_argument("--kind", required=True, help="graph specifier")

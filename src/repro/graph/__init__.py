@@ -26,6 +26,7 @@ from repro.graph.partition import (
 )
 from repro.graph.reorder import degree_order, bfs_order, community_order
 from repro.graph.properties import GraphSummary, summarize
+from repro.graph.store import GraphStore, default_store_dir, spec_digest, store_enabled
 from repro.graph.suites import GraphSpec, paper_suite, build_graph
 from repro.graph import io
 
@@ -46,7 +47,11 @@ __all__ = [
     "degree_order",
     "bfs_order",
     "community_order",
+    "GraphStore",
     "GraphSummary",
+    "default_store_dir",
+    "spec_digest",
+    "store_enabled",
     "summarize",
     "GraphSpec",
     "paper_suite",

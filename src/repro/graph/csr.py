@@ -19,7 +19,15 @@ class CSRGraph:
     """An immutable directed graph in CSR form.
 
     Arrays are validated once at construction and never mutated; all
-    transformations return new graphs.
+    transformations return new graphs.  ``validate=False`` skips the
+    O(V + E) structural checks (monotonic ``row_ptr``, in-range
+    ``col_idx``) for arrays that were already validated when they were
+    first persisted -- the :mod:`~repro.graph.store` artifact path maps
+    graphs lazily, and walking every element here would fault in every
+    page of a file the caller specifically wants to read on demand.
+    ``ascontiguousarray`` is a no-copy view for the store's already
+    contiguous ``int64``/``float64`` memmaps, so memmap backing (and
+    laziness) survives construction.
     """
 
     def __init__(
@@ -27,6 +35,7 @@ class CSRGraph:
         row_ptr: np.ndarray,
         col_idx: np.ndarray,
         weights: Optional[np.ndarray] = None,
+        validate: bool = True,
     ) -> None:
         row_ptr = np.ascontiguousarray(row_ptr, dtype=np.int64)
         col_idx = np.ascontiguousarray(col_idx, dtype=np.int64)
@@ -34,18 +43,23 @@ class CSRGraph:
             raise GraphFormatError("row_ptr and col_idx must be 1-D arrays")
         if row_ptr.shape[0] == 0:
             raise GraphFormatError("row_ptr must have at least one entry")
-        if row_ptr[0] != 0:
-            raise GraphFormatError("row_ptr[0] must be 0")
-        if np.any(np.diff(row_ptr) < 0):
-            raise GraphFormatError("row_ptr must be non-decreasing")
-        if row_ptr[-1] != col_idx.shape[0]:
-            raise GraphFormatError(
-                f"row_ptr[-1]={row_ptr[-1]} does not match "
-                f"len(col_idx)={col_idx.shape[0]}"
-            )
-        num_vertices = row_ptr.shape[0] - 1
-        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= num_vertices):
-            raise GraphFormatError("col_idx contains out-of-range vertex ids")
+        if validate:
+            if row_ptr[0] != 0:
+                raise GraphFormatError("row_ptr[0] must be 0")
+            if np.any(np.diff(row_ptr) < 0):
+                raise GraphFormatError("row_ptr must be non-decreasing")
+            if row_ptr[-1] != col_idx.shape[0]:
+                raise GraphFormatError(
+                    f"row_ptr[-1]={row_ptr[-1]} does not match "
+                    f"len(col_idx)={col_idx.shape[0]}"
+                )
+            num_vertices = row_ptr.shape[0] - 1
+            if col_idx.size and (
+                col_idx.min() < 0 or col_idx.max() >= num_vertices
+            ):
+                raise GraphFormatError(
+                    "col_idx contains out-of-range vertex ids"
+                )
         if weights is not None:
             weights = np.ascontiguousarray(weights, dtype=np.float64)
             if weights.shape != col_idx.shape:
@@ -53,10 +67,9 @@ class CSRGraph:
         self.row_ptr = row_ptr
         self.col_idx = col_idx
         self.weights = weights
-        self.row_ptr.setflags(write=False)
-        self.col_idx.setflags(write=False)
-        if self.weights is not None:
-            self.weights.setflags(write=False)
+        for array in (self.row_ptr, self.col_idx, self.weights):
+            if array is not None and array.flags.writeable:
+                array.setflags(write=False)
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -31,14 +31,43 @@ def save_npz(graph: CSRGraph, path: str) -> None:
 
 
 def load_npz(path: str) -> CSRGraph:
-    """Load a graph saved by :func:`save_npz`."""
+    """Load a graph saved by :func:`save_npz`.
+
+    Every failure mode of a corrupt or truncated file -- an unreadable
+    zip container, missing arrays, wrong dimensionality, a
+    non-monotonic ``row_ptr``, out-of-range ``col_idx`` -- surfaces as
+    :class:`GraphFormatError` naming the file, instead of a zlib/zipfile
+    exception here or an index error deep inside a workload later.
+    """
     if not os.path.exists(path):
         raise GraphFormatError(f"no such file: {path}")
-    with np.load(path, allow_pickle=False) as data:
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except Exception as exc:  # BadZipFile, zlib.error, ValueError, ...
+        raise GraphFormatError(
+            f"{path} is not a readable npz archive: {exc}"
+        ) from exc
+    with archive as data:
         if "magic" not in data or str(data["magic"]) != _MAGIC:
             raise GraphFormatError(f"{path} is not a {_MAGIC} file")
-        weights = data["weights"] if "weights" in data else None
-        return CSRGraph(data["row_ptr"], data["col_idx"], weights)
+        try:
+            row_ptr = data["row_ptr"]
+            col_idx = data["col_idx"]
+            weights = data["weights"] if "weights" in data else None
+        except KeyError as exc:
+            raise GraphFormatError(
+                f"{path} is missing the {exc.args[0]} array"
+            ) from None
+        except Exception as exc:  # truncated member: zlib error mid-read
+            raise GraphFormatError(
+                f"{path} has a corrupt or truncated array: {exc}"
+            ) from exc
+        try:
+            # CSRGraph re-checks row_ptr monotonicity/length and col_idx
+            # bounds; funnel its verdict through the file name.
+            return CSRGraph(row_ptr, col_idx, weights)
+        except GraphFormatError as exc:
+            raise GraphFormatError(f"{path}: {exc}") from None
 
 
 def save_edge_list(graph: CSRGraph, path: str) -> None:

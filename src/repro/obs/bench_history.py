@@ -256,6 +256,7 @@ class BenchHistory:
 def metrics_from_reports(
     hotpath_cases: Dict[str, Dict],
     obs_cases: Optional[Dict[str, Dict]] = None,
+    store_metrics: Optional[Dict[str, float]] = None,
 ) -> Dict[str, float]:
     """Flatten perf_smoke's per-case reports into named history metrics."""
     out: Dict[str, float] = {}
@@ -270,19 +271,25 @@ def metrics_from_reports(
         overhead = entry.get("null_overhead_vs_baseline")
         if overhead is not None:
             out[f"obs.{case}.null_overhead"] = float(overhead)
+    for name, value in (store_metrics or {}).items():
+        # Already speedups (higher is better): map-vs-rebuild and the
+        # cold-vs-warm sweep wall clock from BENCH_graph_store.json.
+        out[f"graph_store.{name}"] = float(value)
     return out
 
 
 def metrics_from_bench_dir(results_dir: str) -> Dict[str, float]:
     """History metrics from a ``benchmarks/results`` directory."""
-    def _load_cases(basename: str) -> Dict[str, Dict]:
+    def _load(basename: str, key: str) -> Dict[str, Dict]:
         path = os.path.join(results_dir, basename)
         try:
             with open(path, encoding="utf-8") as f:
-                return json.load(f).get("cases", {})
+                return json.load(f).get(key, {})
         except (OSError, json.JSONDecodeError):
             return {}
 
     return metrics_from_reports(
-        _load_cases("BENCH_hotpath.json"), _load_cases("BENCH_obs.json")
+        _load("BENCH_hotpath.json", "cases"),
+        _load("BENCH_obs.json", "cases"),
+        _load("BENCH_graph_store.json", "metrics"),
     )

@@ -10,10 +10,15 @@ The shared :data:`FAULT_COUNTERS` registry is incremented by
 :class:`~repro.runner.sweep.SweepRunner` under ``sweep.*`` names
 (``sweep.failures``, ``sweep.retries``, ``sweep.timeouts``,
 ``sweep.worker_deaths``, ``sweep.checkpoint_flushes``,
-``sweep.cache_errors``) and surfaces in ``repro sweep`` / ``repro
-profile`` output; :meth:`CounterRegistry.publish` mirrors a snapshot
-into a :class:`~repro.sim.stats.StatGroup` for callers that aggregate
-stats.
+``sweep.cache_errors``) and by the
+:class:`~repro.graph.store.GraphStore` under ``graph_store.*`` names
+(``graph_store.hits`` / ``misses`` / ``builds`` artifact traffic,
+``graph_store.build_ms`` cumulative build milliseconds,
+``graph_store.lock_waits`` builders that blocked on a concurrent
+build, ``graph_store.evictions`` / ``corrupt`` / ``put_errors``
+hygiene), surfacing in ``repro sweep`` / ``repro profile`` output;
+:meth:`CounterRegistry.publish` mirrors a snapshot into a
+:class:`~repro.sim.stats.StatGroup` for callers that aggregate stats.
 """
 
 from __future__ import annotations

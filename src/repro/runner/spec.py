@@ -10,8 +10,14 @@ Graphs can be given two ways:
 
 - an in-memory :class:`~repro.graph.csr.CSRGraph` (the parent builds it
   once and workers receive a pickled copy), or
-- a :class:`GraphSpec` recipe (workers rebuild it from the generator
-  seed -- cheaper to ship than the arrays, and memoized per process).
+- a :class:`GraphSpec` recipe -- cheaper to ship than the arrays.
+  Recipes resolve through the content-addressed
+  :class:`~repro.graph.store.GraphStore`: the first process to need a
+  graph builds it once and publishes mmap-able CSR arrays; every other
+  process (sweep workers, service jobs, later CLI invocations) maps the
+  published artifact read-only with zero copies.  A small per-process
+  LRU memo sits in front of the store so repeated resolves inside one
+  process stay free without leaking one full graph per distinct spec.
 
 Either way the cache key is computed from the *built* graph's arrays,
 so a recipe and the graph it builds hit the same cache entry.
@@ -19,6 +25,7 @@ so a recipe and the graph it builds hit the same cache entry.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
 
@@ -46,10 +53,30 @@ class GraphSpec:
     weight_seed: int = 7
 
     def build(self) -> CSRGraph:
-        """Materialize the graph (memoized per process)."""
+        """Materialize the graph: memo, then artifact store, then build.
+
+        With the store enabled (the default), the returned graph's
+        arrays are read-only ``np.memmap`` views of the published
+        artifact -- the kernel page cache shares the bytes across every
+        process mapping the same recipe.  ``REPRO_GRAPH_STORE=0`` opts
+        out and builds in process memory.
+        """
         cached = _GRAPH_MEMO.get(self)
         if cached is not None:
             return cached
+        from repro.graph import store as graph_store
+
+        if graph_store.store_enabled():
+            graph = graph_store.GraphStore().get_or_build(
+                self, self.build_uncached
+            )
+        else:
+            graph = self.build_uncached()
+        _GRAPH_MEMO.put(self, graph)
+        return graph
+
+    def build_uncached(self) -> CSRGraph:
+        """Materialize the graph in process memory, bypassing the store."""
         if self.spec.startswith("suite:"):
             from repro.graph import suites
 
@@ -74,12 +101,59 @@ class GraphSpec:
             from repro.graph.generators import with_uniform_weights
 
             graph = with_uniform_weights(graph, seed=self.weight_seed)
-        _GRAPH_MEMO[self] = graph
         return graph
 
 
-#: Per-process memo of built graphs (GraphSpec is frozen and hashable).
-_GRAPH_MEMO: Dict[GraphSpec, CSRGraph] = {}
+class _GraphMemo:
+    """A small per-process LRU of built graphs.
+
+    The memo used to be an unbounded dict, which leaked one full graph
+    per distinct spec in long-lived service processes.  Store-backed
+    graphs make eviction cheap (the next resolve re-maps the artifact
+    without rebuilding), so the default capacity is deliberately small;
+    ``REPRO_GRAPH_MEMO_SIZE`` tunes it, and ``0`` disables memoization
+    entirely.
+    """
+
+    DEFAULT_CAPACITY = 8
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._capacity = capacity
+        self._entries: "OrderedDict[GraphSpec, CSRGraph]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        if self._capacity is not None:
+            return self._capacity
+        from repro.runner.fault import env_int
+
+        env = env_int("REPRO_GRAPH_MEMO_SIZE", minimum=0)
+        return env if env is not None else self.DEFAULT_CAPACITY
+
+    def get(self, spec: "GraphSpec") -> Optional[CSRGraph]:
+        graph = self._entries.get(spec)
+        if graph is not None:
+            self._entries.move_to_end(spec)
+        return graph
+
+    def put(self, spec: "GraphSpec", graph: CSRGraph) -> None:
+        capacity = self.capacity
+        if capacity <= 0:
+            return
+        self._entries[spec] = graph
+        self._entries.move_to_end(spec)
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Per-process LRU memo of built graphs (GraphSpec is frozen/hashable).
+_GRAPH_MEMO = _GraphMemo()
 
 #: Workloads that take no source vertex.
 SOURCELESS_WORKLOADS = ("cc", "pr")

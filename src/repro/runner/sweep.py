@@ -26,10 +26,15 @@ cannot take sibling retries down with it.  ``on_failure="raise"``
 sibling has completed and stored; ``on_failure="return"`` places the
 ``RunFailure`` records in the results list instead.
 
-Workers are forked, so in-memory graphs are inherited copy-on-write and
-:class:`~repro.runner.spec.GraphSpec` recipes hit each worker's own
-build memo.  Simulations are deterministic, so a cache hit is
-bit-identical to recomputing.
+Workers never rebuild graphs: computing the cache keys resolves every
+:class:`~repro.runner.spec.GraphSpec` recipe in the parent through the
+content-addressed :class:`~repro.graph.store.GraphStore`, which builds
+each distinct graph at most once per host and maps it back as read-only
+``np.memmap`` arrays.  Forked workers inherit those mappings, and the
+kernel page cache shares the underlying bytes across every worker (and
+every other process) using the same artifact -- in-memory graphs are
+still inherited copy-on-write.  Simulations are deterministic, so a
+cache hit is bit-identical to recomputing.
 """
 
 from __future__ import annotations

@@ -240,7 +240,7 @@ class JobScheduler:
             # queueing -- graph building happens off-loop.
             loop = asyncio.get_running_loop()
             try:
-                key, cached = await loop.run_in_executor(
+                key, cached, warmed = await loop.run_in_executor(
                     None, self._admit, spec
                 )
             except Exception as exc:
@@ -259,6 +259,8 @@ class JobScheduler:
                     f"job {job.id} rejected at admission: {exc}"
                 ) from exc
             job.key = key
+            if warmed:
+                trace_event("service.graph_warm", job=job.id, **warmed)
             if cached:
                 job.transition(DONE)
                 job.cached = True
@@ -281,14 +283,30 @@ class JobScheduler:
                 self._cond.notify()
         return job
 
-    def _admit(self, spec: JobSpec) -> Tuple[str, bool]:
-        """Blocking half of admission: lower, digest, probe the cache."""
+    def _admit(self, spec: JobSpec) -> Tuple[str, bool, Dict[str, int]]:
+        """Blocking half of admission: lower, digest, probe the cache.
+
+        Digesting the spec resolves its graph, which *warms the graph
+        artifact store before dispatch*: on a cold store the graph is
+        built once and published here, so by the time any worker thread
+        (or a sibling job sharing the recipe) picks the job up, every
+        subsequent resolve is a zero-copy mmap of the published
+        artifact.  The returned ``graph_store.*`` counter delta records
+        what the warm-up did (empty when the memo already had the
+        graph).
+        """
         run_spec = spec.to_run_spec()
+        base = FAULT_COUNTERS.snapshot()
         key = spec_key(run_spec)
+        warmed = {
+            name: count
+            for name, count in FAULT_COUNTERS.delta_since(base).items()
+            if name.startswith("graph_store.")
+        }
         if self.runner.cache is not None:
             if self.runner.cache.load(key) is not None:
-                return key, True
-        return key, False
+                return key, True, warmed
+        return key, False, warmed
 
     async def cancel(self, job_id: str) -> Job:
         """Cancel a waiting job.  Running or finished jobs refuse."""

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,15 @@ from repro.graph.generators import (
     with_uniform_weights,
 )
 from repro.sim.config import NovaConfig, scaled_config
+
+# Redirect the graph artifact store into a throwaway directory for the
+# whole test session (subprocesses spawned by tests inherit it), unless
+# the caller already isolated it.  Done at import time so every code
+# path -- including module-level fixtures and forked workers -- sees the
+# same root, and the suite never writes artifacts into ~/.cache.
+if "REPRO_GRAPH_STORE_DIR" not in os.environ:
+    _STORE_TMP = tempfile.TemporaryDirectory(prefix="repro-test-graphs-")
+    os.environ["REPRO_GRAPH_STORE_DIR"] = _STORE_TMP.name
 
 
 @pytest.fixture(scope="session")

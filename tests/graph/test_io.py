@@ -1,5 +1,7 @@
 """Graph serialization round trips and format validation."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -37,6 +39,55 @@ class TestNpz:
         path = str(tmp_path / "foreign.npz")
         np.savez(path, a=np.arange(3))
         with pytest.raises(GraphFormatError):
+            io.load_npz(path)
+
+    def test_rejects_garbage_bytes(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        with open(path, "wb") as f:
+            f.write(b"\x00\x01not a zip archive at all\xff" * 10)
+        with pytest.raises(GraphFormatError, match="not a readable npz"):
+            io.load_npz(path)
+
+    def test_rejects_truncated_archive(self, tmp_path, rmat_graph):
+        path = str(tmp_path / "trunc.npz")
+        io.save_npz(rmat_graph, path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size // 3)
+        with pytest.raises(GraphFormatError) as excinfo:
+            io.load_npz(path)
+        assert "trunc.npz" in str(excinfo.value)
+
+    def test_rejects_missing_array(self, tmp_path):
+        path = str(tmp_path / "partial.npz")
+        np.savez(
+            path,
+            magic=np.array("repro-csr-v1"),
+            row_ptr=np.array([0, 1], dtype=np.int64),
+        )
+        with pytest.raises(GraphFormatError, match="col_idx"):
+            io.load_npz(path)
+
+    def test_rejects_non_monotonic_row_ptr(self, tmp_path):
+        path = str(tmp_path / "bad_ptr.npz")
+        np.savez(
+            path,
+            magic=np.array("repro-csr-v1"),
+            row_ptr=np.array([0, 3, 1, 4], dtype=np.int64),
+            col_idx=np.zeros(4, dtype=np.int64),
+        )
+        with pytest.raises(GraphFormatError, match="bad_ptr.npz"):
+            io.load_npz(path)
+
+    def test_rejects_out_of_range_col_idx(self, tmp_path):
+        path = str(tmp_path / "bad_idx.npz")
+        np.savez(
+            path,
+            magic=np.array("repro-csr-v1"),
+            row_ptr=np.array([0, 2], dtype=np.int64),
+            col_idx=np.array([0, 99], dtype=np.int64),
+        )
+        with pytest.raises(GraphFormatError, match="bad_idx.npz"):
             io.load_npz(path)
 
 

@@ -11,7 +11,11 @@ Commands:
   :mod:`repro.obs.report`)
 - ``profile``   run one instrumented NOVA simulation and print a
   bottleneck-attribution report (see :mod:`repro.obs`)
-- ``serve``     boot the async job service (HTTP, see :mod:`repro.service`)
+- ``serve``     boot the async job service (HTTP, see :mod:`repro.service`);
+  ``--workers N`` additionally spawns a local fleet of N worker
+  subprocesses sharing the coordinator's run cache
+- ``worker``    boot one fleet worker and join it to a coordinator
+  (register + heartbeat over ``/v1/workers``)
 - ``submit``    post one simulation job to a running service
 - ``status``    service health + job ledger (or one job's detail)
 - ``fetch``     download a completed job's result as JSON
@@ -714,6 +718,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.runner import SweepRunner, default_cache_dir
     from repro.service import ReproService
+    from repro.service.worker import LocalWorkerPool
 
     runner = SweepRunner(
         workers=args.run_workers, cache_dir=args.cache_dir
@@ -727,23 +732,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         job_workers=args.job_workers,
         drain_timeout=args.drain_timeout,
+        lease_seconds=args.lease,
+        max_requeues=args.max_requeues,
+        quota_max_active=args.quota_max_active,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
     )
 
+    pool: Optional[LocalWorkerPool] = None
+
     def on_ready(port: int) -> None:
+        nonlocal pool
         print(
             f"repro service listening on http://{args.host}:{port}",
             flush=True,
         )
         print(f"  state: {state_dir}", flush=True)
         print(f"  cache: {runner.cache.root}", flush=True)
+        if args.workers > 0:
+            pool = LocalWorkerPool(
+                f"http://{args.host}:{port}",
+                count=args.workers,
+                cache_dir=runner.cache.root,
+                state_root=os.path.join(state_dir, "fleet"),
+                host=args.host,
+                lease_seconds=args.lease,
+            )
+            pids = pool.start()
+            print(
+                f"  fleet: {args.workers} local worker(s), pids "
+                f"{','.join(str(p) for p in pids)}",
+                flush=True,
+            )
 
-    summary = asyncio.run(
-        service.serve_forever(args.host, args.port, on_ready=on_ready)
-    )
+    try:
+        summary = asyncio.run(
+            service.serve_forever(args.host, args.port, on_ready=on_ready)
+        )
+    finally:
+        if pool is not None:
+            pool.stop()
     print(
         "drained: running "
         + ("finished" if summary["drained"] else "interrupted")
         + f", {summary['queued']} queued job(s) persisted for restart",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.runner import SweepRunner, default_cache_dir
+    from repro.service import ReproService
+    from repro.service.worker import WorkerAgent
+
+    runner = SweepRunner(
+        workers=args.run_workers, cache_dir=args.cache_dir
+    )
+    state_dir = args.state_dir or os.path.join(
+        args.cache_dir or default_cache_dir(), "worker"
+    )
+    service = ReproService(
+        state_dir,
+        runner=runner,
+        max_queue_depth=args.queue_depth,
+        job_workers=args.job_workers,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def main() -> dict:
+        port = await service.start(args.host, args.port)
+        service._install_signal_handlers()
+        advertise = args.advertise or f"http://{args.host}:{port}"
+        agent = WorkerAgent(
+            args.coordinator,
+            advertise,
+            capacity=args.capacity,
+            lease_seconds=args.lease,
+        )
+        agent_task = asyncio.create_task(agent.run())
+        print(
+            f"repro worker listening on http://{args.host}:{port}",
+            flush=True,
+        )
+        print(f"  coordinator: {args.coordinator}", flush=True)
+        print(f"  cache: {runner.cache.root}", flush=True)
+        assert service._stop is not None
+        await service._stop.wait()
+        await agent.stop()
+        agent_task.cancel()
+        try:
+            await agent_task
+        except asyncio.CancelledError:
+            pass
+        return await service.stop()
+
+    summary = asyncio.run(main())
+    print(
+        "worker drained: running "
+        + ("finished" if summary["drained"] else "interrupted")
+        + f", {summary['queued']} queued job(s) persisted",
         flush=True,
     )
     return 0
@@ -980,7 +1071,58 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to let running jobs finish on "
                             "SIGTERM before giving up")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="spawn N local fleet workers sharing this "
+                            "coordinator's run cache (0 = run jobs "
+                            "in-process)")
+    serve.add_argument("--lease", type=float, default=10.0,
+                       help="worker lease in seconds; a worker missing "
+                            "heartbeats this long is declared dead and "
+                            "its jobs re-queue")
+    serve.add_argument("--max-requeues", type=int, default=3,
+                       help="times one job may be re-queued after "
+                            "worker loss before failing")
+    serve.add_argument("--quota-max-active", type=int, default=None,
+                       help="per-tenant cap on concurrently active "
+                            "jobs (429 above it)")
+    serve.add_argument("--quota-rate", type=float, default=None,
+                       help="per-tenant submissions per second "
+                            "(token bucket; 429 above it)")
+    serve.add_argument("--quota-burst", type=float, default=None,
+                       help="token-bucket burst size (default: rate)")
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one fleet worker and join it to a coordinator",
+    )
+    worker.add_argument("--coordinator", required=True,
+                        help="coordinator base URL to register with")
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0,
+                        help="listen port (0 picks a free one)")
+    worker.add_argument("--advertise", default=None,
+                        help="URL the coordinator should dial back "
+                             "(default: http://<host>:<port>)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="run-cache root; share the coordinator's "
+                             "for zero-copy result hand-off")
+    worker.add_argument("--state-dir", default=None,
+                        help="job-journal directory (default: "
+                             "<cache-dir>/worker)")
+    worker.add_argument("--queue-depth", type=int, default=64)
+    worker.add_argument("--job-workers", type=int, default=1,
+                        help="jobs executed concurrently")
+    worker.add_argument("--run-workers", type=int, default=1,
+                        help="SweepRunner processes per job")
+    worker.add_argument("--capacity", type=int, default=1,
+                        help="in-flight dispatches advertised to the "
+                             "coordinator's router")
+    worker.add_argument("--lease", type=float, default=None,
+                        help="requested lease seconds (default: the "
+                             "coordinator's lease)")
+    worker.add_argument("--drain-timeout", type=float, default=30.0)
+    worker.set_defaults(func=_cmd_worker)
 
     def add_client_args(parser: argparse.ArgumentParser) -> None:
         parser.add_argument("--url", default="http://127.0.0.1:8734",

@@ -64,7 +64,22 @@ class JobStateError(ServiceError):
         super().__init__(message)
 
 
-class QueueFullError(ServiceError):
+class ThrottledError(ServiceError):
+    """Base of the 429 family: the service refused work *for now*.
+
+    Every subclass carries ``retry_after_seconds``, a coarse hint for
+    when a retry is worth attempting; the HTTP layer surfaces it as a
+    ``Retry-After`` header plus a structured payload field, and
+    :meth:`repro.service.client.ServiceClient.submit` can honor it
+    automatically (``retries=``).
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0):
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(message)
+
+
+class QueueFullError(ThrottledError):
     """Admission control rejected a submission: the queue is at depth.
 
     A *structured* backpressure signal (HTTP maps it to 429): ``depth``
@@ -76,11 +91,77 @@ class QueueFullError(ServiceError):
     def __init__(self, depth: int, limit: int, retry_after_seconds: float = 1.0):
         self.depth = depth
         self.limit = limit
-        self.retry_after_seconds = retry_after_seconds
         super().__init__(
             f"job queue is full ({depth}/{limit}); retry in "
-            f"~{retry_after_seconds:g}s"
+            f"~{retry_after_seconds:g}s",
+            retry_after_seconds,
         )
+
+
+class QuotaExceededError(ThrottledError):
+    """A tenant is at its cap of concurrently active (non-terminal) jobs."""
+
+    def __init__(
+        self,
+        tenant: str,
+        active: int,
+        limit: int,
+        retry_after_seconds: float = 1.0,
+    ):
+        self.tenant = tenant
+        self.active = active
+        self.limit = limit
+        super().__init__(
+            f"tenant {tenant!r} has {active} active job(s), quota is "
+            f"{limit}; retry in ~{retry_after_seconds:g}s",
+            retry_after_seconds,
+        )
+
+
+class RateLimitedError(ThrottledError):
+    """A tenant's token bucket is empty: submissions arrive too fast."""
+
+    def __init__(
+        self,
+        tenant: str,
+        rate: float = 0.0,
+        retry_after_seconds: float = 1.0,
+    ):
+        self.tenant = tenant
+        self.rate = rate
+        super().__init__(
+            f"tenant {tenant!r} exceeded {rate:g} submissions/sec; "
+            f"retry in ~{retry_after_seconds:g}s",
+            retry_after_seconds,
+        )
+
+
+class WorkerError(ServiceError):
+    """Base class for worker-fleet failures (see :mod:`repro.service.fleet`)."""
+
+
+class UnknownWorkerError(WorkerError):
+    """The referenced worker id is not in the registry."""
+
+    def __init__(self, worker_id: str):
+        self.worker_id = worker_id
+        super().__init__(f"unknown worker {worker_id!r}")
+
+
+class NoAliveWorkersError(WorkerError):
+    """The fleet has no alive workers to dispatch to (fall back local)."""
+
+
+class WorkerLostError(WorkerError):
+    """A dispatched job's worker died, hung past its lease, or vanished.
+
+    The scheduler re-queues the job (bounded by the dispatcher's
+    ``max_requeues``) so it lands on a surviving worker.
+    """
+
+    def __init__(self, message: str, worker_id: str = ""):
+        self.worker_id = worker_id
+        super().__init__(message)
 
 
 class ServiceUnavailableError(ServiceError):

@@ -16,7 +16,15 @@ The shared :data:`FAULT_COUNTERS` registry is incremented by
 ``graph_store.build_ms`` cumulative build milliseconds,
 ``graph_store.lock_waits`` builders that blocked on a concurrent
 build, ``graph_store.evictions`` / ``corrupt`` / ``put_errors``
-hygiene), surfacing in ``repro sweep`` / ``repro profile`` output;
+hygiene), and by the fleet layer under ``fleet.*`` names
+(``fleet.registered`` / ``heartbeats`` / ``deregistered`` /
+``expired`` / ``dead`` / ``revived`` / ``superseded`` membership,
+``fleet.dispatched`` / ``completed`` / ``cache_resolved`` /
+``shared_cache_miss`` / ``local_fallback`` dispatch traffic,
+``fleet.revoked`` / ``worker_lost`` / ``requeued`` /
+``requeue_exhausted`` fault recovery, ``fleet.quota_rejected`` /
+``rate_limited`` admission), surfacing in ``repro sweep`` / ``repro
+profile`` output and the service's ``/metrics`` endpoint;
 :meth:`CounterRegistry.publish` mirrors a snapshot into a
 :class:`~repro.sim.stats.StatGroup` for callers that aggregate stats.
 """

@@ -110,6 +110,15 @@ class RunCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")
 
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe: no read, no verification, no LRU touch.
+
+        Fleet coordinators use this to check whether a worker's
+        completed result has landed in the shared cache directory
+        before paying for a full verified :meth:`load`.
+        """
+        return os.path.exists(self._path(key))
+
     def load(self, key: str) -> Optional[RunResult]:
         """Return the cached result, or ``None`` on miss or corruption.
 

@@ -23,18 +23,41 @@ Three layers:
   (fault isolation, timeouts, and retries come from the existing
   :class:`~repro.runner.fault.RetryPolicy` machinery).
 - :mod:`repro.service.http` -- a stdlib-only HTTP/1.1 API
-  (``/v1/jobs``, long-poll ``/events``, ``/healthz``, ``/metrics``)
-  plus :class:`ReproService`, the composed server with SIGTERM
-  drain-and-persist semantics.  :mod:`repro.service.client` is the
-  matching thin client behind ``repro submit/status/fetch``.
+  (``/v1/jobs``, long-poll ``/events``, ``/v1/workers``, ``/healthz``,
+  ``/metrics``) plus :class:`ReproService`, the composed server with
+  SIGTERM drain-and-persist semantics.  :mod:`repro.service.client` is
+  the matching thin client behind ``repro submit/status/fetch``.
 
-CLI: ``repro serve`` boots the server; ``repro submit`` posts a job
-(optionally waiting), ``repro status`` inspects jobs/health, ``repro
-fetch`` pulls a completed result as JSON.
+The **fleet** layer shards that server horizontally:
+
+- :mod:`repro.service.hashring` -- consistent hashing with virtual
+  nodes; jobs route by their content-addressed ``spec_key`` so repeat
+  submissions land on the worker whose cache is warm.
+- :mod:`repro.service.registry` -- lease-based worker membership
+  (register / heartbeat / expire) feeding the ring.
+- :mod:`repro.service.fleet` -- the dispatcher (route, submit over the
+  job contract, poll, resolve results from the shared run cache),
+  worker-loss revocation + bounded re-queue, and per-tenant quota /
+  rate-limit admission (the structured 429 family).
+- :mod:`repro.service.worker` -- the worker-side join/heartbeat agent
+  and the ``serve --workers N`` local subprocess pool.
+
+CLI: ``repro serve`` boots the coordinator (``--workers N`` adds a
+local fleet); ``repro worker`` joins a standalone worker; ``repro
+submit`` posts a job (optionally waiting), ``repro status`` inspects
+jobs/health, ``repro fetch`` pulls a completed result as JSON.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.fleet import (
+    FleetDispatcher,
+    RemoteDone,
+    TenantQuotas,
+    TokenBucket,
+)
+from repro.service.hashring import HashRing
 from repro.service.http import ReproService, ServiceHTTP, run_result_to_dict
+from repro.service.registry import WorkerInfo, WorkerRegistry
 from repro.service.scheduler import JobScheduler
 from repro.service.store import (
     CANCELLED,
@@ -49,22 +72,32 @@ from repro.service.store import (
     JobSpec,
     JobStore,
 )
+from repro.service.worker import LocalWorkerPool, WorkerAgent
 
 __all__ = [
     "CANCELLED",
     "DONE",
     "FAILED",
+    "FleetDispatcher",
+    "HashRing",
     "JOB_STATES",
     "Job",
     "JobScheduler",
     "JobSpec",
     "JobStore",
+    "LocalWorkerPool",
     "QUEUED",
     "RUNNING",
+    "RemoteDone",
     "ReproService",
     "SUBMITTED",
     "ServiceClient",
     "ServiceHTTP",
     "TERMINAL_STATES",
+    "TenantQuotas",
+    "TokenBucket",
+    "WorkerAgent",
+    "WorkerInfo",
+    "WorkerRegistry",
     "run_result_to_dict",
 ]

@@ -1,13 +1,20 @@
 """Thin blocking HTTP client for the job service.
 
 Stdlib-only (``urllib``), mirroring the server's endpoints 1:1 and
-raising the same structured exceptions the service raises --
-:class:`~repro.errors.QueueFullError` on 429 (with depth/limit/retry
-hint rehydrated from the payload), :class:`~repro.errors.UnknownJobError`
-on 404, :class:`~repro.errors.JobStateError` on 409, and
+raising the same structured exceptions the service raises -- the 429
+family on throttle (:class:`~repro.errors.QueueFullError` /
+:class:`~repro.errors.QuotaExceededError` /
+:class:`~repro.errors.RateLimitedError`, each with its retry hint and
+identity fields rehydrated from the payload),
+:class:`~repro.errors.UnknownJobError` /
+:class:`~repro.errors.UnknownWorkerError` on 404,
+:class:`~repro.errors.JobStateError` on 409, and
 :class:`~repro.errors.ServiceUnavailableError` on 503 -- so callers and
-tests handle local and remote failures identically.  Used by ``repro
-submit`` / ``repro status`` / ``repro fetch``.
+tests handle local and remote failures identically.  ``submit`` can
+honor the server's retry-after hint itself (``retries=``).  Used by
+``repro submit`` / ``repro status`` / ``repro fetch``, by the fleet
+dispatcher to drive workers, and by workers to register/heartbeat with
+their coordinator.
 """
 
 from __future__ import annotations
@@ -22,9 +29,13 @@ from repro.errors import (
     JobSpecError,
     JobStateError,
     QueueFullError,
+    QuotaExceededError,
+    RateLimitedError,
     ServiceError,
     ServiceUnavailableError,
+    ThrottledError,
     UnknownJobError,
+    UnknownWorkerError,
 )
 
 #: Terminal job states (mirrors :mod:`repro.service.store` without
@@ -38,6 +49,9 @@ class ServiceClient:
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        # Injectable for tests that exercise retry backoff without
+        # actually sleeping.
+        self._sleep = time.sleep
 
     # -- transport ------------------------------------------------------
 
@@ -77,14 +91,31 @@ class ServiceClient:
             payload = {}
         message = payload.get("message", f"HTTP {exc.code}")
         if exc.code == 429:
+            code = payload.get("error", "queue_full")
+            retry_after = float(payload.get("retry_after_seconds", 1.0))
+            if code == "quota_exceeded":
+                return QuotaExceededError(
+                    payload.get("tenant", "anonymous"),
+                    active=int(payload.get("active", 0)),
+                    limit=int(payload.get("limit", 0)),
+                    retry_after_seconds=retry_after,
+                )
+            if code == "rate_limited":
+                return RateLimitedError(
+                    payload.get("tenant", "anonymous"),
+                    rate=float(payload.get("rate", 0.0)),
+                    retry_after_seconds=retry_after,
+                )
             return QueueFullError(
                 depth=int(payload.get("depth", 0)),
                 limit=int(payload.get("limit", 0)),
-                retry_after_seconds=float(
-                    payload.get("retry_after_seconds", 1.0)
-                ),
+                retry_after_seconds=retry_after,
             )
         if exc.code == 404:
+            if payload.get("error") == "unknown_worker":
+                return UnknownWorkerError(
+                    payload.get("worker_id", message)
+                )
             return UnknownJobError(payload.get("job_id", message))
         if exc.code == 409:
             return JobStateError(message, state=payload.get("state", ""))
@@ -107,14 +138,33 @@ class ServiceClient:
         spec: Mapping[str, Any],
         client: str = "anonymous",
         priority: int = 0,
+        retries: int = 0,
+        max_retry_wait: float = 30.0,
     ) -> Dict[str, Any]:
-        """Submit one job spec; returns the job record."""
-        payload = self._request(
-            "POST",
-            "/v1/jobs",
-            body={"spec": dict(spec), "client": client, "priority": priority},
-        )
-        return payload["job"]
+        """Submit one job spec; returns the job record.
+
+        With ``retries > 0``, a throttled submission (429: queue full,
+        quota exceeded, or rate limited) sleeps out the server's
+        ``retry_after_seconds`` hint (capped at ``max_retry_wait``) and
+        retries, up to ``retries`` extra attempts; the final throttle is
+        re-raised.
+        """
+        body = {"spec": dict(spec), "client": client, "priority": priority}
+        attempts = max(0, int(retries))
+        while True:
+            try:
+                payload = self._request("POST", "/v1/jobs", body=body)
+            except ThrottledError as exc:
+                if attempts <= 0:
+                    raise
+                attempts -= 1
+                wait = min(
+                    max(0.0, float(exc.retry_after_seconds)),
+                    max_retry_wait,
+                )
+                self._sleep(wait)
+                continue
+            return payload["job"]
 
     def jobs(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/v1/jobs")["jobs"]
@@ -140,6 +190,37 @@ class ServiceClient:
             timeout=timeout + 15.0,
         )
         return payload["events"], int(payload["next"]), payload["state"]
+
+    # -- fleet / worker endpoints ---------------------------------------
+
+    def register_worker(
+        self,
+        url: str,
+        worker_id: Optional[str] = None,
+        capacity: int = 1,
+        lease_seconds: Optional[float] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Register (or re-register) a worker; returns its record."""
+        body: Dict[str, Any] = {"url": url, "capacity": int(capacity)}
+        if worker_id:
+            body["worker_id"] = worker_id
+        if lease_seconds is not None:
+            body["lease_seconds"] = float(lease_seconds)
+        if meta:
+            body["meta"] = dict(meta)
+        return self._request("POST", "/v1/workers", body=body)["worker"]
+
+    def worker_heartbeat(self, worker_id: str) -> Dict[str, Any]:
+        return self._request(
+            "POST", f"/v1/workers/{worker_id}/heartbeat"
+        )["worker"]
+
+    def deregister_worker(self, worker_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/workers/{worker_id}")
+
+    def workers(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/workers")["workers"]
 
     # -- conveniences ---------------------------------------------------
 

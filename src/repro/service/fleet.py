@@ -1,0 +1,322 @@
+"""Fleet dispatch: route jobs to workers, survive worker loss, throttle.
+
+Three pieces:
+
+- :class:`TokenBucket` / :class:`TenantQuotas` -- per-tenant admission
+  on top of the scheduler's global backpressure: a cap on concurrently
+  *active* (non-terminal) jobs per tenant plus a token-bucket rate
+  limit on submissions.  Violations raise the structured 429 family
+  (:class:`~repro.errors.QuotaExceededError`,
+  :class:`~repro.errors.RateLimitedError`) with a retry-after hint the
+  HTTP layer and :class:`~repro.service.client.ServiceClient` carry
+  end to end.
+
+- :class:`FleetDispatcher` -- the blocking (executor-thread) half of
+  fleet execution.  A job routes by consistent hash over its
+  content-addressed ``spec_key`` (warm-cache affinity, see
+  :mod:`repro.service.hashring`), is submitted to the chosen worker
+  over the *existing* HTTP job contract, and is polled to completion.
+  Workers share one content-addressed
+  :class:`~repro.runner.cache.RunCache` directory, so the worker's
+  completed result is resolved from the shared cache under the very
+  same key -- no result marshalling in the dispatch path.
+
+- Failure semantics: a connection failure marks the worker dead (out of
+  the ring) and raises :class:`~repro.errors.WorkerLostError`; a lease
+  expiry (reaper) *revokes* the worker's in-flight dispatches, which
+  the poll loop notices between polls.  Either way the scheduler
+  re-queues the job -- bounded by ``max_requeues``, counted under
+  ``fleet.requeued`` -- and the ring routes it to a survivor.  A job is
+  never double-completed: a revoked dispatch never settles its job, so
+  even a partitioned worker that finishes its copy only warms the
+  shared cache.
+
+``REPRO_SERVICE_JOB_DELAY_MS`` (env) injects an artificial pre-run
+delay into service job execution -- a chaos/test knob used by the fleet
+smoke tests to hold jobs in flight long enough to kill a worker
+mid-job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import (
+    NoAliveWorkersError,
+    QuotaExceededError,
+    RateLimitedError,
+    ServiceError,
+    WorkerLostError,
+)
+from repro.obs.counters import FAULT_COUNTERS
+from repro.obs.tracing import trace_event
+from repro.runner.cache import RunCache
+from repro.runner.fault import RunFailure
+from repro.service.registry import WorkerRegistry
+
+#: Remote job states that end a dispatch poll loop.
+_REMOTE_TERMINAL = ("done", "failed", "cancelled")
+
+
+# ----------------------------------------------------------------------
+# Per-tenant admission
+# ----------------------------------------------------------------------
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/sec, capacity ``burst``."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, tokens: float = 1.0) -> float:
+        """Take ``tokens``; returns 0.0 on success, else seconds to wait."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            if self.rate <= 0:
+                return float("inf")
+            return (tokens - self._tokens) / self.rate
+
+
+@dataclass
+class TenantQuotas:
+    """Per-tenant quota + rate-limit admission policy.
+
+    ``max_active`` caps a tenant's concurrently active (non-terminal)
+    jobs; ``rate``/``burst`` bound submission frequency per tenant.
+    Either knob may be ``None`` (disabled).  One instance serves every
+    tenant: buckets are minted lazily per tenant name.
+    """
+
+    max_active: Optional[int] = None
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    quota_retry_after: float = 1.0
+    clock: Callable[[], float] = time.monotonic
+    _buckets: Dict[str, TokenBucket] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                burst = self.burst if self.burst is not None else max(
+                    1.0, float(self.rate or 1.0)
+                )
+                bucket = TokenBucket(self.rate or 0.0, burst, clock=self.clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str, active: int) -> None:
+        """Raise the structured 429 when ``tenant`` is over a limit."""
+        if self.max_active is not None and active >= self.max_active:
+            FAULT_COUNTERS.increment("fleet.quota_rejected")
+            trace_event(
+                "fleet.quota", tenant=tenant, active=active,
+                limit=self.max_active,
+            )
+            raise QuotaExceededError(
+                tenant,
+                active=active,
+                limit=self.max_active,
+                retry_after_seconds=self.quota_retry_after,
+            )
+        if self.rate:
+            wait = self._bucket(tenant).try_take()
+            if wait > 0:
+                FAULT_COUNTERS.increment("fleet.rate_limited")
+                trace_event("fleet.rate_limit", tenant=tenant, wait=wait)
+                raise RateLimitedError(
+                    tenant,
+                    rate=self.rate,
+                    retry_after_seconds=max(0.05, wait),
+                )
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RemoteDone:
+    """A fleet job completed on a worker whose result is not in the
+    shared cache (cacheless worker, or the entry was evicted before the
+    dispatcher looked).  The coordinator's job still settles ``done``;
+    the result endpoint reports the gap honestly if asked."""
+
+    worker_id: str
+    remote_job_id: str
+
+
+class FleetDispatcher:
+    """Blocking job router over the worker registry's hash ring."""
+
+    def __init__(
+        self,
+        registry: WorkerRegistry,
+        cache: Optional[RunCache] = None,
+        max_requeues: int = 3,
+        poll_interval: float = 0.05,
+        client_factory: Optional[Callable[[str], Any]] = None,
+    ) -> None:
+        if client_factory is None:
+            from repro.service.client import ServiceClient
+
+            client_factory = ServiceClient
+        self.registry = registry
+        self.cache = cache
+        self.max_requeues = max(0, int(max_requeues))
+        self.poll_interval = poll_interval
+        self._client_factory = client_factory
+        self._lock = threading.Lock()
+        self._assignments: Dict[str, str] = {}  # job id -> worker id
+        self._revoked: set = set()
+
+    # -- assignment bookkeeping ----------------------------------------
+
+    def has_workers(self) -> bool:
+        return len(self.registry.ring) > 0
+
+    def assignments(self) -> Dict[str, str]:
+        """Snapshot of in-flight job -> worker placements."""
+        with self._lock:
+            return dict(self._assignments)
+
+    def revoke_worker(self, worker_id: str) -> int:
+        """Revoke every in-flight dispatch on ``worker_id``.
+
+        The poll loops notice between polls and raise
+        :class:`WorkerLostError`, re-queueing their jobs.  Returns how
+        many dispatches were revoked.
+        """
+        revoked = 0
+        with self._lock:
+            for job_id, wid in self._assignments.items():
+                if wid == worker_id and job_id not in self._revoked:
+                    self._revoked.add(job_id)
+                    revoked += 1
+        if revoked:
+            FAULT_COUNTERS.increment("fleet.revoked", revoked)
+            trace_event("fleet.revoke", worker=worker_id, jobs=revoked)
+        return revoked
+
+    def _is_revoked(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._revoked
+
+    # -- the blocking dispatch path ------------------------------------
+
+    def dispatch(self, job) -> object:
+        """Route, submit, poll; runs in an executor thread.
+
+        Returns the completed :class:`~repro.core.metrics.RunResult`
+        (resolved from the shared cache), a :class:`RemoteDone` marker,
+        or a :class:`~repro.runner.fault.RunFailure`.  Raises
+        :class:`WorkerLostError` when the worker vanished mid-job (the
+        scheduler re-queues) and :class:`NoAliveWorkersError` when the
+        ring emptied before routing (the scheduler runs the job
+        locally).
+        """
+        key = job.key or job.id
+        info = self.registry.route(key)
+        if info is None:
+            raise NoAliveWorkersError("no alive workers to dispatch to")
+        worker_id = info.id
+        job.worker = worker_id
+        with self._lock:
+            self._assignments[job.id] = worker_id
+            self._revoked.discard(job.id)
+        self.registry.note_dispatch(worker_id)
+        FAULT_COUNTERS.increment("fleet.dispatched")
+        trace_event(
+            "fleet.dispatch", job=job.id, worker=worker_id, url=info.url
+        )
+        client = self._client_factory(info.url)
+        try:
+            remote = client.submit(
+                job.spec.to_dict(), client=job.client, priority=job.priority
+            )
+            while remote.get("state") not in _REMOTE_TERMINAL:
+                if self._is_revoked(job.id):
+                    raise WorkerLostError(
+                        f"worker {worker_id} lease expired with job "
+                        f"{job.id} in flight",
+                        worker_id,
+                    )
+                if (
+                    self.cache is not None
+                    and job.key
+                    and self.cache.contains(job.key)
+                ):
+                    # Shared-cache resolution: the worker flushed the
+                    # result; no need to wait for its job record to
+                    # settle over HTTP.
+                    result = self.cache.load(job.key)
+                    if result is not None:
+                        FAULT_COUNTERS.increment("fleet.completed")
+                        FAULT_COUNTERS.increment("fleet.cache_resolved")
+                        return result
+                time.sleep(self.poll_interval)
+                remote = client.job(remote["id"])
+        except WorkerLostError:
+            raise
+        except (ServiceError, OSError) as exc:
+            self.registry.mark_dead(worker_id, reason=str(exc))
+            self.revoke_worker(worker_id)
+            FAULT_COUNTERS.increment("fleet.worker_lost")
+            raise WorkerLostError(
+                f"worker {worker_id} ({info.url}) failed mid-dispatch: "
+                f"{exc}",
+                worker_id,
+            ) from None
+        finally:
+            with self._lock:
+                self._assignments.pop(job.id, None)
+                self._revoked.discard(job.id)
+            self.registry.note_done(worker_id)
+
+        state = remote.get("state")
+        if state == "done":
+            FAULT_COUNTERS.increment("fleet.completed")
+            if self.cache is not None and job.key:
+                result = self.cache.load(job.key)
+                if result is not None:
+                    return result
+                FAULT_COUNTERS.increment("fleet.shared_cache_miss")
+            return RemoteDone(worker_id, remote.get("id", ""))
+        if state == "failed":
+            return RunFailure(
+                key=job.key or "",
+                spec=None,
+                kind=remote.get("error_kind") or "error",
+                error_type=remote.get("error_type") or "RemoteFailure",
+                message=remote.get("error_message") or
+                f"job failed on worker {worker_id}",
+            )
+        # A worker-side cancel of a fleet job is not part of the
+        # contract; treat it as losing the worker so the job re-queues.
+        raise WorkerLostError(
+            f"worker {worker_id} settled job {job.id} as {state!r}",
+            worker_id,
+        )

@@ -1,0 +1,119 @@
+"""Consistent-hash ring: stable key -> worker placement for the fleet.
+
+The dispatcher routes every job by its content-addressed ``spec_key``
+so repeated submissions of the same spec land on the same worker --
+that worker's warm :class:`~repro.runner.cache.RunCache` /
+:class:`~repro.graph.store.GraphStore` shards (and its in-process graph
+memo) stay hot.  A consistent hash makes membership churn cheap: adding
+or removing one worker remaps only ~1/N of the key space, so a scale-up
+or a crash does not cold-start the whole fleet (the same
+partition-by-key idiom PartitionedVC uses for its external-memory
+shards).
+
+Each node contributes ``replicas`` virtual points (SHA-256 of
+``"{node}#{i}"``); a key maps to the first point clockwise from its own
+hash.  The ring is rebuilt from the node set on every membership change
+-- fleets are tens of workers, so the rebuild is microseconds -- which
+keeps the structure canonical: lookups depend only on the member set,
+never on insertion order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+def _hash64(token: str) -> int:
+    """First 8 bytes of SHA-256 as an unsigned int (the ring position)."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A set of nodes, each owning ``replicas`` arcs of a hash circle."""
+
+    def __init__(self, replicas: int = 64, nodes: Iterable[str] = ()) -> None:
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._nodes: set = set()
+        self._ring: List[Tuple[int, str]] = []
+        self._points: List[int] = []
+        for node in nodes:
+            self._nodes.add(str(node))
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Hash ties across nodes (astronomically unlikely at 64 bits)
+        # break on the node id, so the ring is fully deterministic.
+        self._ring = sorted(
+            (_hash64(f"{node}#{i}"), node)
+            for node in self._nodes
+            for i in range(self.replicas)
+        )
+        self._points = [point for point, _ in self._ring]
+
+    # -- membership -----------------------------------------------------
+
+    def add(self, node: str) -> bool:
+        """Add ``node``; returns False when it was already present."""
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        self._rebuild()
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove ``node``; returns False when it was not present."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        self._rebuild()
+        return True
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- placement ------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The node owning ``key``, or ``None`` on an empty ring."""
+        if not self._ring:
+            return None
+        index = bisect.bisect_right(self._points, _hash64(key))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def preference(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Distinct nodes clockwise from ``key``'s position.
+
+        The first entry is :meth:`lookup`'s answer; the rest are the
+        fail-over order (capacity spill, dead primary).  ``count``
+        limits the list (default: every node).
+        """
+        if not self._ring:
+            return []
+        want = len(self._nodes) if count is None else max(0, int(count))
+        if want == 0:
+            return []
+        start = bisect.bisect_right(self._points, _hash64(key))
+        seen: List[str] = []
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) >= want:
+                    break
+        return seen

@@ -5,7 +5,9 @@ third-party web framework -- exposing the evaluation service:
 
 - ``POST   /v1/jobs``            submit ``{"spec": {...}, "client": ..,
   "priority": ..}``; 201 on enqueue, 200 when answered from the run
-  cache, 429 + ``Retry-After`` under backpressure, 503 while draining
+  cache, 429 + ``Retry-After`` under backpressure / per-tenant quota /
+  rate limit (structured ``error`` codes ``queue_full`` /
+  ``quota_exceeded`` / ``rate_limited``), 503 while draining
 - ``GET    /v1/jobs``            list jobs (most recent last)
 - ``GET    /v1/jobs/{id}``       one job's record
 - ``GET    /v1/jobs/{id}/result``  the completed run, JSON-rendered
@@ -14,10 +16,15 @@ third-party web framework -- exposing the evaluation service:
   over the job's state changes and
   :class:`~repro.runner.monitor.SweepMonitor` progress snapshots
 - ``DELETE /v1/jobs/{id}``       cancel a waiting job
+- ``POST   /v1/workers``         a fleet worker joins (url, capacity,
+  lease); ``POST /v1/workers/{id}/heartbeat`` renews the lease,
+  ``DELETE /v1/workers/{id}`` leaves gracefully, ``GET /v1/workers``
+  lists members + in-flight assignments
 - ``GET    /healthz``            liveness + drain status
-- ``GET    /metrics``            the process-wide ``service.*`` /
-  ``sweep.*`` counters (:data:`~repro.obs.counters.FAULT_COUNTERS`)
-  plus scheduler queue/fairness gauges
+- ``GET    /metrics``            the process-wide counters
+  (:data:`~repro.obs.counters.FAULT_COUNTERS`) with ``service.*``,
+  ``graph_store.*``, and ``fleet.*`` families broken out, plus
+  scheduler queue/fairness gauges and the worker roster
 
 :class:`ReproService` composes store + scheduler + HTTP listener and
 owns the lifecycle: SIGTERM/SIGINT trigger a drain (running jobs
@@ -38,9 +45,13 @@ from repro.errors import (
     JobSpecError,
     JobStateError,
     QueueFullError,
+    QuotaExceededError,
+    RateLimitedError,
     ReproError,
     ServiceUnavailableError,
+    ThrottledError,
     UnknownJobError,
+    UnknownWorkerError,
 )
 from repro.obs.counters import FAULT_COUNTERS
 from repro.obs.tracing import trace_event
@@ -123,10 +134,12 @@ class ServiceHTTP:
         scheduler: JobScheduler,
         store: JobStore,
         cache: Optional[RunCache],
+        registry=None,
     ) -> None:
         self.scheduler = scheduler
         self.store = store
         self.cache = cache
+        self.registry = registry
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -159,17 +172,34 @@ class ServiceHTTP:
             return status, payload, {}
         except _HttpError as exc:
             return exc.status, {"error": exc.code, "message": str(exc)}, {}
-        except QueueFullError as exc:
+        except ThrottledError as exc:
             FAULT_COUNTERS.increment("service.http.429")
             payload = {
-                "error": "queue_full",
                 "message": str(exc),
-                "depth": exc.depth,
-                "limit": exc.limit,
                 "retry_after_seconds": exc.retry_after_seconds,
             }
+            if isinstance(exc, QueueFullError):
+                payload.update(
+                    error="queue_full", depth=exc.depth, limit=exc.limit
+                )
+            elif isinstance(exc, QuotaExceededError):
+                payload.update(
+                    error="quota_exceeded",
+                    tenant=exc.tenant,
+                    active=exc.active,
+                    limit=exc.limit,
+                )
+            elif isinstance(exc, RateLimitedError):
+                payload.update(
+                    error="rate_limited", tenant=exc.tenant, rate=exc.rate
+                )
+            else:
+                payload["error"] = "throttled"
             headers = {"Retry-After": f"{exc.retry_after_seconds:.0f}"}
             return 429, payload, headers
+        except UnknownWorkerError as exc:
+            return 404, {"error": "unknown_worker", "message": str(exc),
+                         "worker_id": exc.worker_id}, {}
         except UnknownJobError as exc:
             return 404, {"error": "unknown_job", "message": str(exc),
                          "job_id": exc.job_id}, {}
@@ -274,6 +304,20 @@ class ServiceHTTP:
                 return self._result(job_id)
             if tail == "events" and method == "GET":
                 return await self._events(job_id, query)
+        if path == "/v1/workers":
+            if method == "POST":
+                return self._register_worker(body)
+            if method == "GET":
+                return self._list_workers()
+            raise _HttpError(405, "method", f"{method} not allowed here")
+        if path.startswith("/v1/workers/"):
+            rest = path[len("/v1/workers/"):]
+            worker_id, _, tail = rest.partition("/")
+            if worker_id:
+                if tail == "heartbeat" and method == "POST":
+                    return self._heartbeat_worker(worker_id)
+                if not tail and method == "DELETE":
+                    return self._deregister_worker(worker_id)
         raise _HttpError(404, "not_found", f"no route {method} {path!r}")
 
     # -- endpoints ------------------------------------------------------
@@ -285,15 +329,26 @@ class ServiceHTTP:
 
     def _metrics(self) -> Tuple[int, Dict[str, Any]]:
         counters = FAULT_COUNTERS.snapshot()
-        return 200, {
-            "counters": counters,
-            "service": {
+
+        def family(prefix: str) -> Dict[str, int]:
+            return {
                 name: value
                 for name, value in counters.items()
-                if name.startswith("service.")
-            },
+                if name.startswith(prefix)
+            }
+
+        payload = {
+            "counters": counters,
+            "service": family("service."),
+            "graph_store": family("graph_store."),
+            "fleet": family("fleet."),
             "scheduler": self.scheduler.snapshot(),
         }
+        if self.registry is not None:
+            payload["workers"] = [
+                worker.to_dict() for worker in self.registry.workers()
+            ]
+        return 200, payload
 
     async def _submit(
         self, body: Optional[Dict[str, Any]]
@@ -343,6 +398,58 @@ class ServiceHTTP:
             "result": run_result_to_dict(result),
         }
 
+    # -- fleet membership ----------------------------------------------
+
+    def _need_registry(self):
+        if self.registry is None:
+            raise _HttpError(
+                404, "no_fleet", "this service has no worker registry"
+            )
+        return self.registry
+
+    def _register_worker(
+        self, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        registry = self._need_registry()
+        if not isinstance(body, dict) or "url" not in body:
+            raise JobSpecError(
+                "POST /v1/workers needs a JSON body with 'url'"
+            )
+        lease = body.get("lease_seconds")
+        worker = registry.register(
+            str(body["url"]),
+            worker_id=body.get("worker_id") or body.get("id"),
+            capacity=int(body.get("capacity", 1)),
+            lease_seconds=float(lease) if lease is not None else None,
+            meta=body.get("meta") or {},
+        )
+        return 201, {"worker": worker.to_dict()}
+
+    def _list_workers(self) -> Tuple[int, Dict[str, Any]]:
+        registry = self._need_registry()
+        assignments: Dict[str, str] = {}
+        fleet = getattr(self.scheduler, "fleet", None)
+        if fleet is not None:
+            assignments = fleet.assignments()
+        workers = []
+        for worker in registry.workers():
+            record = worker.to_dict()
+            record["jobs_inflight"] = [
+                job_id
+                for job_id, wid in assignments.items()
+                if wid == worker.id
+            ]
+            workers.append(record)
+        return 200, {"workers": workers, "ring": registry.ring.nodes()}
+
+    def _heartbeat_worker(self, worker_id: str) -> Tuple[int, Dict[str, Any]]:
+        worker = self._need_registry().heartbeat(worker_id)
+        return 200, {"worker": worker.to_dict()}
+
+    def _deregister_worker(self, worker_id: str) -> Tuple[int, Dict[str, Any]]:
+        worker = self._need_registry().deregister(worker_id)
+        return 200, {"worker": worker.to_dict()}
+
     async def _events(
         self, job_id: str, query: Dict[str, list]
     ) -> Tuple[int, Dict[str, Any]]:
@@ -391,6 +498,12 @@ class ReproService:
     (running jobs finish within ``drain_timeout``; queued jobs stay
     persisted), and the store compacts, so a restarted server resumes
     exactly the queued work.
+
+    Every service is fleet-capable: it owns a
+    :class:`~repro.service.registry.WorkerRegistry` and a
+    :class:`~repro.service.fleet.FleetDispatcher`, so ``repro worker``
+    processes can join at any time.  With zero registered workers jobs
+    simply execute on the local runner, exactly as before.
     """
 
     def __init__(
@@ -401,20 +514,51 @@ class ReproService:
         max_queue_depth: int = 64,
         job_workers: int = 2,
         drain_timeout: Optional[float] = 30.0,
+        lease_seconds: float = 10.0,
+        max_requeues: int = 3,
+        ring_replicas: int = 64,
+        quota_max_active: Optional[int] = None,
+        quota_rate: Optional[float] = None,
+        quota_burst: Optional[float] = None,
+        reap_interval: Optional[float] = None,
     ) -> None:
+        from repro.service.fleet import FleetDispatcher, TenantQuotas
+        from repro.service.registry import WorkerRegistry
+
         self.store = JobStore(service_dir)
         self.runner = (
             runner
             if runner is not None
             else SweepRunner(workers=1, cache_dir=cache_dir)
         )
+        self.registry = WorkerRegistry(
+            lease_seconds=lease_seconds, replicas=ring_replicas
+        )
+        self.fleet = FleetDispatcher(
+            self.registry,
+            cache=self.runner.cache,
+            max_requeues=max_requeues,
+        )
+        quotas = None
+        if quota_max_active is not None or quota_rate is not None:
+            quotas = TenantQuotas(
+                max_active=quota_max_active,
+                rate=quota_rate,
+                burst=quota_burst,
+            )
         self.scheduler = JobScheduler(
             self.store,
             runner=self.runner,
             max_queue_depth=max_queue_depth,
             job_workers=job_workers,
+            fleet=self.fleet,
+            quotas=quotas,
+            reap_interval=reap_interval,
         )
-        self.http = ServiceHTTP(self.scheduler, self.store, self.runner.cache)
+        self.http = ServiceHTTP(
+            self.scheduler, self.store, self.runner.cache,
+            registry=self.registry,
+        )
         self.drain_timeout = drain_timeout
         self._stop: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None

@@ -1,0 +1,284 @@
+"""Worker registry: membership, lease-based liveness, ring routing.
+
+Workers join the fleet over HTTP (``POST /v1/workers``) and stay in it
+by heartbeating before their lease lapses (``POST
+/v1/workers/{id}/heartbeat``).  The registry is the single source of
+truth for *who is routable*: every alive worker owns arcs of the
+:class:`~repro.service.hashring.HashRing`, and :meth:`route` resolves a
+job's ``spec_key`` to the worker whose cache shard should already be
+warm for it.
+
+Liveness is a lease, not a connection: a worker that misses its lease
+(crash, hang, partition) is expired by the scheduler's reaper task,
+leaves the ring, and its in-flight dispatches are revoked so the jobs
+re-queue onto survivors.  A worker that was merely partitioned and
+heartbeats again after expiry is revived (re-added to the ring) --
+the coordinator's job records settle exactly once regardless, because
+a revoked dispatch never reports a result.
+
+All mutations are thread-safe (HTTP handlers run on the loop thread,
+the dispatcher and reaper touch the registry from executor threads) and
+counted under ``fleet.*`` in :data:`~repro.obs.counters.FAULT_COUNTERS`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import JobSpecError, UnknownWorkerError
+from repro.obs.counters import FAULT_COUNTERS
+from repro.obs.tracing import trace_event
+from repro.service.hashring import HashRing
+
+#: Worker liveness states.
+ALIVE = "alive"
+DEAD = "dead"     # lease lapsed or a dispatch hit a connection failure
+LEFT = "left"     # deregistered gracefully (drain/bounce)
+
+WORKER_STATES = (ALIVE, DEAD, LEFT)
+
+
+def new_worker_id() -> str:
+    return "w-" + uuid.uuid4().hex[:10]
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker's record (registry-internal, snapshotted out)."""
+
+    id: str
+    url: str
+    capacity: int = 1
+    lease_seconds: float = 10.0
+    registered_at: float = 0.0
+    last_heartbeat: float = 0.0
+    state: str = ALIVE
+    heartbeats: int = 0
+    dispatched: int = 0
+    inflight: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class WorkerRegistry:
+    """Thread-safe worker membership plus the routing ring."""
+
+    def __init__(
+        self,
+        lease_seconds: float = 10.0,
+        replicas: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.lease_seconds = float(lease_seconds)
+        self.ring = HashRing(replicas=replicas)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._workers: Dict[str, WorkerInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        url: str,
+        worker_id: Optional[str] = None,
+        capacity: int = 1,
+        lease_seconds: Optional[float] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> WorkerInfo:
+        """Join (or re-join) the fleet; idempotent per worker id.
+
+        A new registration with the *same url* as an existing worker
+        supersedes it (the old record goes ``left`` and leaves the
+        ring): that is a worker process that restarted with a fresh id
+        before its predecessor's lease expired.
+        """
+        if not isinstance(url, str) or not url.startswith("http"):
+            raise JobSpecError(
+                f"worker url must be an http(s) URL, got {url!r}"
+            )
+        now = self._clock()
+        with self._lock:
+            wid = worker_id or new_worker_id()
+            existing = self._workers.get(wid)
+            if existing is not None:
+                # Idempotent re-register: refresh the lease in place.
+                existing.url = url
+                existing.capacity = max(1, int(capacity))
+                if lease_seconds is not None:
+                    existing.lease_seconds = float(lease_seconds)
+                existing.last_heartbeat = now
+                if existing.state != ALIVE:
+                    existing.state = ALIVE
+                    self.ring.add(wid)
+                    FAULT_COUNTERS.increment("fleet.revived")
+                if meta:
+                    existing.meta.update(meta)
+                return self._snap(existing)
+            for other in self._workers.values():
+                if other.url == url and other.state == ALIVE:
+                    other.state = LEFT
+                    self.ring.remove(other.id)
+                    FAULT_COUNTERS.increment("fleet.superseded")
+            info = WorkerInfo(
+                id=wid,
+                url=url,
+                capacity=max(1, int(capacity)),
+                lease_seconds=(
+                    float(lease_seconds)
+                    if lease_seconds is not None
+                    else self.lease_seconds
+                ),
+                registered_at=now,
+                last_heartbeat=now,
+                meta=dict(meta or {}),
+            )
+            self._workers[wid] = info
+            self.ring.add(wid)
+            FAULT_COUNTERS.increment("fleet.registered")
+            trace_event("fleet.register", worker=wid, url=url)
+            return self._snap(info)
+
+    def heartbeat(self, worker_id: str) -> WorkerInfo:
+        """Refresh the lease.  An expired worker that beats again revives."""
+        now = self._clock()
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None or info.state == LEFT:
+                raise UnknownWorkerError(worker_id)
+            info.last_heartbeat = now
+            info.heartbeats += 1
+            FAULT_COUNTERS.increment("fleet.heartbeats")
+            if info.state == DEAD:
+                info.state = ALIVE
+                self.ring.add(worker_id)
+                FAULT_COUNTERS.increment("fleet.revived")
+                trace_event("fleet.revive", worker=worker_id)
+            return self._snap(info)
+
+    def deregister(self, worker_id: str) -> WorkerInfo:
+        """Graceful leave: out of the ring, in-flight work may finish."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                raise UnknownWorkerError(worker_id)
+            if info.state != LEFT:
+                info.state = LEFT
+                self.ring.remove(worker_id)
+                FAULT_COUNTERS.increment("fleet.deregistered")
+                trace_event("fleet.deregister", worker=worker_id)
+            return self._snap(info)
+
+    def mark_dead(self, worker_id: str, reason: str = "") -> None:
+        """A dispatch hit a connection failure: stop routing immediately."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None or info.state != ALIVE:
+                return
+            info.state = DEAD
+            self.ring.remove(worker_id)
+            FAULT_COUNTERS.increment("fleet.dead")
+            trace_event("fleet.dead", worker=worker_id, reason=reason)
+
+    def expire(self, now: Optional[float] = None) -> List[WorkerInfo]:
+        """Expire every alive worker whose lease has lapsed.
+
+        Returns the expired workers (snapshots) so the caller can
+        revoke their in-flight dispatches.
+        """
+        stamp = self._clock() if now is None else now
+        expired: List[WorkerInfo] = []
+        with self._lock:
+            for info in self._workers.values():
+                if info.state != ALIVE:
+                    continue
+                if stamp - info.last_heartbeat > info.lease_seconds:
+                    info.state = DEAD
+                    self.ring.remove(info.id)
+                    expired.append(self._snap(info))
+        for info in expired:
+            FAULT_COUNTERS.increment("fleet.expired")
+            trace_event(
+                "fleet.expire",
+                worker=info.id,
+                idle_seconds=round(stamp - info.last_heartbeat, 3),
+            )
+        return expired
+
+    # ------------------------------------------------------------------
+    # Dispatch accounting
+    # ------------------------------------------------------------------
+
+    def note_dispatch(self, worker_id: str) -> None:
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is not None:
+                info.dispatched += 1
+                info.inflight += 1
+
+    def note_done(self, worker_id: str) -> None:
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is not None and info.inflight > 0:
+                info.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Queries / routing
+    # ------------------------------------------------------------------
+
+    def _snap(self, info: WorkerInfo) -> WorkerInfo:
+        return dataclasses.replace(info, meta=dict(info.meta))
+
+    def get(self, worker_id: str) -> WorkerInfo:
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                raise UnknownWorkerError(worker_id)
+            return self._snap(info)
+
+    def workers(self) -> List[WorkerInfo]:
+        """Every known worker (any state), oldest registration first."""
+        with self._lock:
+            return [
+                self._snap(info)
+                for info in sorted(
+                    self._workers.values(), key=lambda w: w.registered_at
+                )
+            ]
+
+    def alive(self) -> List[WorkerInfo]:
+        with self._lock:
+            return [
+                self._snap(info)
+                for info in self._workers.values()
+                if info.state == ALIVE
+            ]
+
+    def route(self, key: str) -> Optional[WorkerInfo]:
+        """The worker owning ``key``, spilling past full workers.
+
+        Walks the ring's preference order and returns the first alive
+        worker with in-flight headroom; when every worker is at
+        capacity, the primary owner wins anyway (its local queue
+        absorbs the burst, preserving cache affinity).
+        """
+        with self._lock:
+            order = self.ring.preference(key)
+            primary: Optional[WorkerInfo] = None
+            for node in order:
+                info = self._workers.get(node)
+                if info is None or info.state != ALIVE:
+                    continue
+                if primary is None:
+                    primary = info
+                if info.inflight < info.capacity:
+                    return self._snap(info)
+            return self._snap(primary) if primary is not None else None

@@ -17,19 +17,36 @@ Admission control is a bounded queue: past ``max_queue_depth`` waiting
 jobs, submission raises a structured
 :class:`~repro.errors.QueueFullError` (HTTP 429) carrying the depth,
 the limit, and a retry hint derived from recent job throughput.
-Before a job is ever queued its lowered spec is digested and looked up
-in the :class:`~repro.runner.cache.RunCache` -- an identical prior run
-(CLI, sweep, or another client's job) resolves the job to ``done``
-with zero compute.
+Per-tenant :class:`~repro.service.fleet.TenantQuotas` (active-job cap +
+token-bucket rate limit) layer in front of the global depth check and
+raise the same structured 429 family.  Before a job is ever queued its
+lowered spec is digested and looked up in the
+:class:`~repro.runner.cache.RunCache` -- an identical prior run (CLI,
+sweep, or another client's job) resolves the job to ``done`` with zero
+compute.
 
-All ``service.*`` counters go to the process-wide
+With a :class:`~repro.service.fleet.FleetDispatcher` attached, jobs
+route to registered workers by consistent hash over their spec keys;
+the scheduler owns the *reaper* task that expires missed worker leases
+and revokes their in-flight dispatches, and it re-queues jobs raised
+back as :class:`~repro.errors.WorkerLostError` (bounded per job,
+``fleet.requeued``).  When the ring is empty the job runs locally on
+the scheduler's own runner, so a fleet coordinator degrades to the
+single-process service rather than stalling.
+
+All ``service.*`` / ``fleet.*`` counters go to the process-wide
 :data:`~repro.obs.counters.FAULT_COUNTERS` registry, which ``GET
 /metrics`` snapshots.
+
+``REPRO_SERVICE_JOB_DELAY_MS`` injects an artificial pre-run delay
+into :meth:`JobScheduler._run_blocking` -- a chaos/test knob that
+holds jobs in flight long enough for kill/partition drills.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
@@ -37,8 +54,10 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from repro.errors import (
     JobSpecError,
     JobStateError,
+    NoAliveWorkersError,
     QueueFullError,
     ServiceUnavailableError,
+    WorkerLostError,
 )
 from repro.obs.counters import FAULT_COUNTERS
 from repro.obs.tracing import trace_event
@@ -100,6 +119,13 @@ class JobScheduler:
         max_queue_depth: waiting jobs admitted before backpressure.
         job_workers: concurrently running jobs (asyncio workers, each
             occupying one executor thread while its job runs).
+        fleet: optional :class:`~repro.service.fleet.FleetDispatcher`;
+            when set and workers are registered, jobs dispatch to the
+            fleet instead of the local runner.
+        quotas: optional :class:`~repro.service.fleet.TenantQuotas`
+            applied per client at admission.
+        reap_interval: seconds between worker-lease expiry sweeps
+            (default: lease/4, floor 50 ms).
     """
 
     def __init__(
@@ -108,11 +134,18 @@ class JobScheduler:
         runner: Optional[SweepRunner] = None,
         max_queue_depth: int = 64,
         job_workers: int = 2,
+        fleet=None,
+        quotas=None,
+        reap_interval: Optional[float] = None,
     ) -> None:
         self.store = store
         self.runner = runner if runner is not None else SweepRunner(workers=1)
         self.max_queue_depth = max(1, int(max_queue_depth))
         self.job_workers = max(1, int(job_workers))
+        self.fleet = fleet
+        self.quotas = quotas
+        self.reap_interval = reap_interval
+        self._reaper: Optional[asyncio.Task] = None
         self.draining = False
         self._queued: List[str] = []
         self._running: set = set()
@@ -153,10 +186,27 @@ class JobScheduler:
             asyncio.create_task(self._worker(i), name=f"job-worker-{i}")
             for i in range(self.job_workers)
         ]
+        if self.fleet is not None:
+            self._reaper = asyncio.create_task(
+                self._reap(), name="fleet-reaper"
+            )
         self._started = True
         async with self._cond:
             self._cond.notify_all()
         return len(resumable)
+
+    async def _reap(self) -> None:
+        """Expire missed worker leases; revoke their in-flight jobs."""
+        lease = self.fleet.registry.lease_seconds
+        interval = (
+            self.reap_interval
+            if self.reap_interval is not None
+            else max(0.05, lease / 4.0)
+        )
+        while not self.draining:
+            await asyncio.sleep(interval)
+            for worker in self.fleet.registry.expire():
+                self.fleet.revoke_worker(worker.id)
 
     async def drain(self, timeout: Optional[float] = None) -> Dict[str, int]:
         """Stop accepting and dispatching; wait for running jobs.
@@ -171,6 +221,10 @@ class JobScheduler:
         if self._cond is not None:
             async with self._cond:
                 self._cond.notify_all()
+        if self._reaper is not None:
+            self._reaper.cancel()
+            await asyncio.gather(self._reaper, return_exceptions=True)
+            self._reaper = None
         drained = True
         if self._workers:
             done, pending = await asyncio.wait(
@@ -198,6 +252,14 @@ class JobScheduler:
     def queue_depth(self) -> int:
         return len(self._queued)
 
+    def _active_count(self, client: str) -> int:
+        """How many non-terminal jobs ``client`` currently owns."""
+        return sum(
+            1
+            for job in self.store.jobs()
+            if job.client == client and not job.terminal
+        )
+
     def _retry_after(self) -> float:
         """Coarse backpressure hint from recent completion spacing."""
         if len(self._completions) < 2:
@@ -212,11 +274,13 @@ class JobScheduler:
         client: str = "anonymous",
         priority: int = 0,
     ) -> Job:
-        """Admit one job: backpressure check, cache dedupe, enqueue."""
+        """Admit one job: quotas, backpressure check, cache dedupe, enqueue."""
         if self.draining:
             raise ServiceUnavailableError(
                 "service is draining and not accepting new jobs"
             )
+        if self.quotas is not None:
+            self.quotas.admit(client, self._active_count(client))
         depth = len(self._queued) + self._admitting
         if depth >= self.max_queue_depth:
             FAULT_COUNTERS.increment("service.rejected")
@@ -386,10 +450,31 @@ class JobScheduler:
         monitor = _JobMonitor(
             lambda payload: self._post_event(job.id, payload), loop
         )
+        outcome = None
         try:
-            outcome = await loop.run_in_executor(
-                None, self._run_blocking, job, monitor
-            )
+            if self.fleet is not None and self.fleet.has_workers():
+                try:
+                    outcome = await loop.run_in_executor(
+                        None, self.fleet.dispatch, job
+                    )
+                except NoAliveWorkersError:
+                    outcome = None  # ring emptied under us: run locally
+                except WorkerLostError as exc:
+                    if await self._requeue_lost(job, exc):
+                        return
+                    outcome = RunFailure(
+                        key=job.key or "",
+                        spec=None,
+                        kind="worker_lost",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+            if outcome is None:
+                if self.fleet is not None:
+                    FAULT_COUNTERS.increment("fleet.local_fallback")
+                outcome = await loop.run_in_executor(
+                    None, self._run_blocking, job, monitor
+                )
         except Exception as exc:  # defensive: the runner returns failures
             outcome = RunFailure(
                 key=job.key or "",
@@ -428,6 +513,40 @@ class JobScheduler:
             self._post_event(job.id, {"type": "state", "state": DONE})
         trace_event("service.settled", job=job.id, state=job.state)
 
+    async def _requeue_lost(self, job: Job, exc: WorkerLostError) -> bool:
+        """Put a worker-lost job back in the queue (bounded per job).
+
+        Returns False once the job has exhausted its re-queue budget,
+        in which case the caller settles it as failed.
+        """
+        if job.requeues >= self.fleet.max_requeues:
+            FAULT_COUNTERS.increment("fleet.requeue_exhausted")
+            return False
+        job.requeues += 1
+        job.transition(QUEUED)
+        self.store.put(job)
+        self._queued.append(job.id)
+        FAULT_COUNTERS.increment("fleet.requeued")
+        trace_event(
+            "fleet.requeue",
+            job=job.id,
+            worker=exc.worker_id,
+            requeues=job.requeues,
+        )
+        self._post_event(
+            job.id,
+            {
+                "type": "state",
+                "state": QUEUED,
+                "requeued": True,
+                "worker": exc.worker_id,
+            },
+        )
+        if self._cond is not None:
+            async with self._cond:
+                self._cond.notify()
+        return True
+
     def _run_blocking(self, job: Job, monitor: SweepMonitor):
         """Executor-thread half: lower the spec and drive the runner.
 
@@ -436,6 +555,10 @@ class JobScheduler:
         the result to the cache the moment it completes, so the job
         only needs to remember its key.
         """
+        delay_ms = os.environ.get("REPRO_SERVICE_JOB_DELAY_MS")
+        if delay_ms:
+            # Chaos/test knob: hold the job in flight (see module doc).
+            time.sleep(max(0.0, float(delay_ms)) / 1000.0)
         run_spec = job.spec.to_run_spec()
         if job.key is None:
             # Recovered from a crash that hit before admission finished
@@ -515,7 +638,7 @@ class JobScheduler:
 
     def snapshot(self) -> Dict[str, Any]:
         counts = self.store.counts()
-        return {
+        snap = {
             "draining": self.draining,
             "queue_depth": len(self._queued),
             "max_queue_depth": self.max_queue_depth,
@@ -524,3 +647,11 @@ class JobScheduler:
             "jobs": counts,
             "fairness": self.fairness_snapshot(),
         }
+        if self.fleet is not None:
+            snap["fleet"] = {
+                "workers_alive": len(self.fleet.registry.alive()),
+                "workers_known": len(self.fleet.registry.workers()),
+                "assignments": len(self.fleet.assignments()),
+                "max_requeues": self.fleet.max_requeues,
+            }
+        return snap

@@ -247,6 +247,10 @@ class Job:
     #: True when the job was answered from the cache with no compute.
     cached: bool = False
     attempts: int = 0
+    #: Times the job was re-queued after losing its worker (fleet mode).
+    requeues: int = 0
+    #: Id of the fleet worker the job last dispatched to, if any.
+    worker: Optional[str] = None
     error_kind: Optional[str] = None
     error_type: Optional[str] = None
     error_message: Optional[str] = None

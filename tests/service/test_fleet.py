@@ -1,0 +1,280 @@
+"""Fleet dispatcher + per-tenant admission, with fake worker clients.
+
+The dispatcher is exercised entirely through its injectable
+``client_factory``: fake clients settle jobs, hang, or blow up on
+demand, so every failure path runs deterministically with no sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    NoAliveWorkersError,
+    QuotaExceededError,
+    RateLimitedError,
+    ServiceError,
+    WorkerLostError,
+)
+from repro.obs.counters import FAULT_COUNTERS
+from repro.runner.fault import RunFailure
+from repro.service.fleet import (
+    FleetDispatcher,
+    RemoteDone,
+    TenantQuotas,
+    TokenBucket,
+)
+from repro.service.registry import WorkerRegistry
+from repro.service.store import JobSpec, JobStore
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        wait = bucket.try_take()
+        assert wait == pytest.approx(1.0)
+        clock.tick(1.0)
+        assert bucket.try_take() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.tick(100.0)  # long idle must not bank 1000 tokens
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=clock)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == float("inf")
+
+
+class TestTenantQuotas:
+    def test_disabled_quotas_admit_everything(self):
+        quotas = TenantQuotas()
+        for _ in range(100):
+            quotas.admit("a", active=10_000)
+
+    def test_max_active_cap(self):
+        quotas = TenantQuotas(max_active=2, quota_retry_after=7.0)
+        quotas.admit("a", active=1)
+        before = FAULT_COUNTERS.snapshot()
+        with pytest.raises(QuotaExceededError) as err:
+            quotas.admit("a", active=2)
+        assert err.value.tenant == "a"
+        assert err.value.active == 2
+        assert err.value.limit == 2
+        assert err.value.retry_after_seconds == 7.0
+        delta = FAULT_COUNTERS.delta_since(before)
+        assert delta.get("fleet.quota_rejected") == 1
+
+    def test_rate_limit_is_per_tenant(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+        quotas.admit("a", active=0)
+        with pytest.raises(RateLimitedError) as err:
+            quotas.admit("a", active=0)
+        assert err.value.tenant == "a"
+        assert err.value.retry_after_seconds > 0
+        quotas.admit("b", active=0)  # b has its own bucket
+        clock.tick(1.0)
+        quotas.admit("a", active=0)  # refilled
+
+    def test_burst_defaults_to_rate(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=3.0, clock=clock)
+        for _ in range(3):
+            quotas.admit("a", active=0)
+        with pytest.raises(RateLimitedError):
+            quotas.admit("a", active=0)
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+
+
+class FakeWorkerClient:
+    """Settles submissions according to a scripted behavior."""
+
+    def __init__(self, behavior="done", polls_until_done=0):
+        self.behavior = behavior
+        self.polls_until_done = polls_until_done
+        self.submitted = []
+        self.polls = 0
+
+    def submit(self, spec, client="anonymous", priority=0):
+        self.submitted.append(spec)
+        if self.behavior == "refuse":
+            raise ServiceError("connection refused")
+        state = "running" if self.polls_until_done > 0 else self._final()
+        return {"id": "rj-1", "state": state}
+
+    def _final(self):
+        return {"done": "done", "failed": "failed",
+                "cancelled": "cancelled"}.get(self.behavior, "done")
+
+    def job(self, job_id):
+        self.polls += 1
+        if self.behavior == "die_midpoll":
+            raise OSError("connection reset")
+        if self.polls >= self.polls_until_done:
+            record = {"id": job_id, "state": self._final()}
+            if self.behavior == "failed":
+                record.update(
+                    error_kind="timeout",
+                    error_type="RunTimeoutError",
+                    message="run exceeded 1s",
+                )
+            return record
+        return {"id": job_id, "state": "running"}
+
+
+def make_dispatcher(tmp_path, client, cache=None, **kwargs):
+    registry = WorkerRegistry(lease_seconds=30.0)
+    dispatcher = FleetDispatcher(
+        registry,
+        cache=cache,
+        poll_interval=0.001,
+        client_factory=lambda url: client,
+        **kwargs,
+    )
+    return registry, dispatcher
+
+
+def make_job(tmp_path, key="k" * 64):
+    store = JobStore(str(tmp_path / "state"))
+    spec = JobSpec(workload="bfs", graph="rmat:6:4", source=0,
+                   scale=1.0 / 1024.0)
+    job = store.create(spec, client="tester")
+    job.key = key
+    return job
+
+
+class TestDispatch:
+    def test_no_workers_raises(self, tmp_path):
+        registry, dispatcher = make_dispatcher(tmp_path, FakeWorkerClient())
+        assert not dispatcher.has_workers()
+        with pytest.raises(NoAliveWorkersError):
+            dispatcher.dispatch(make_job(tmp_path))
+
+    def test_done_without_cache_is_remote_done(self, tmp_path):
+        client = FakeWorkerClient("done", polls_until_done=2)
+        registry, dispatcher = make_dispatcher(tmp_path, client)
+        registry.register("http://w:1", worker_id="w-0")
+        before = FAULT_COUNTERS.snapshot()
+        job = make_job(tmp_path)
+        outcome = dispatcher.dispatch(job)
+        assert isinstance(outcome, RemoteDone)
+        assert outcome.worker_id == "w-0"
+        assert job.worker == "w-0"
+        assert client.submitted  # really went over the wire
+        assert dispatcher.assignments() == {}  # cleaned up
+        assert registry.get("w-0").inflight == 0
+        delta = FAULT_COUNTERS.delta_since(before)
+        assert delta.get("fleet.dispatched") == 1
+        assert delta.get("fleet.completed") == 1
+
+    def test_remote_failure_becomes_run_failure(self, tmp_path):
+        client = FakeWorkerClient("failed", polls_until_done=1)
+        registry, dispatcher = make_dispatcher(tmp_path, client)
+        registry.register("http://w:1", worker_id="w-0")
+        outcome = dispatcher.dispatch(make_job(tmp_path))
+        assert isinstance(outcome, RunFailure)
+        assert outcome.kind == "timeout"
+        assert outcome.error_type == "RunTimeoutError"
+
+    def test_connection_failure_marks_dead_and_raises(self, tmp_path):
+        client = FakeWorkerClient("refuse")
+        registry, dispatcher = make_dispatcher(tmp_path, client)
+        registry.register("http://w:1", worker_id="w-0")
+        before = FAULT_COUNTERS.snapshot()
+        with pytest.raises(WorkerLostError) as err:
+            dispatcher.dispatch(make_job(tmp_path))
+        assert err.value.worker_id == "w-0"
+        assert registry.get("w-0").state == "dead"
+        assert not dispatcher.has_workers()
+        delta = FAULT_COUNTERS.delta_since(before)
+        assert delta.get("fleet.worker_lost") == 1
+
+    def test_death_mid_poll_raises_worker_lost(self, tmp_path):
+        client = FakeWorkerClient("die_midpoll", polls_until_done=99)
+        registry, dispatcher = make_dispatcher(tmp_path, client)
+        registry.register("http://w:1", worker_id="w-0")
+        with pytest.raises(WorkerLostError):
+            dispatcher.dispatch(make_job(tmp_path))
+        assert dispatcher.assignments() == {}
+
+    def test_revocation_interrupts_poll_loop(self, tmp_path):
+        # The reaper revokes between polls; the dispatch thread must
+        # notice and raise rather than settle the job.
+        client = FakeWorkerClient("done", polls_until_done=10_000)
+        registry, dispatcher = make_dispatcher(tmp_path, client)
+        registry.register("http://w:1", worker_id="w-0")
+        job = make_job(tmp_path)
+        errors = []
+
+        def run():
+            try:
+                dispatcher.dispatch(job)
+            except WorkerLostError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = 50.0
+        while not dispatcher.assignments() and deadline > 0:
+            import time
+            time.sleep(0.01)
+            deadline -= 0.01
+        assert dispatcher.revoke_worker("w-0") == 1
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert errors[0].worker_id == "w-0"
+        assert dispatcher.assignments() == {}
+
+    def test_shared_cache_resolves_mid_poll(self, tmp_path):
+        class CacheStub:
+            """contains()/load() answer positively after N polls."""
+
+            def __init__(self):
+                self.result = object()
+                self.asked = 0
+
+            def contains(self, key):
+                self.asked += 1
+                return self.asked >= 3
+
+            def load(self, key):
+                return self.result
+
+        cache = CacheStub()
+        client = FakeWorkerClient("done", polls_until_done=10_000)
+        registry, dispatcher = make_dispatcher(tmp_path, client, cache=cache)
+        registry.register("http://w:1", worker_id="w-0")
+        before = FAULT_COUNTERS.snapshot()
+        outcome = dispatcher.dispatch(make_job(tmp_path))
+        assert outcome is cache.result
+        delta = FAULT_COUNTERS.delta_since(before)
+        assert delta.get("fleet.cache_resolved") == 1
+        # The poll loop stopped as soon as the cache had the answer.
+        assert client.polls < 10

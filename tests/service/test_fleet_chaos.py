@@ -1,0 +1,324 @@
+"""Fleet chaos drills: worker death, lease stalls, bounce during drain.
+
+Each test boots a real coordinator plus real worker
+:class:`ReproService` instances in one asyncio loop, talking over real
+sockets.  Worker job execution is replaced with gated fakes so jobs can
+be held in flight deterministically while the test injects the fault:
+
+- *kill*: the worker's HTTP listener closes abruptly (the in-process
+  equivalent of SIGKILL -- every subsequent poll gets connection
+  refused).  The subprocess E2E in ``test_fleet_e2e.py`` performs the
+  real SIGKILL.
+- *stall*: the worker simply never heartbeats; the coordinator's reaper
+  expires its lease and revokes its in-flight dispatches.
+- *bounce*: the worker deregisters gracefully mid-job (drain), finishes
+  its in-flight work, and re-registers.
+
+The invariants under test: **no job is lost** (every submitted job
+settles ``done``), **no job is double-completed** (exactly one DONE
+event per job), and the ``fleet.*`` counters account for every
+re-queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.obs.counters import FAULT_COUNTERS
+from repro.service.http import ReproService
+from repro.service.client import ServiceClient
+from repro.service.store import DONE
+
+from tests.service.test_http import make_spec
+
+
+async def call(fn, *args, **kwargs):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, lambda: fn(*args, **kwargs))
+
+
+async def wait_until(predicate, timeout=60.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class _FakeDone:
+    """Stands in for a RunResult: anything not a RunFailure means done."""
+
+
+def gate_worker(service, gate=None, started=None):
+    """Replace a worker service's blocking run with a gated fake."""
+
+    def fake(job, monitor):
+        if started is not None:
+            started.set()
+        if gate is not None:
+            assert gate.wait(60.0)
+        return _FakeDone()
+
+    service.scheduler._run_blocking = fake
+
+
+class Fleet:
+    """A coordinator plus N workers in this test's event loop."""
+
+    def __init__(self, tmp_path, **coordinator_kwargs):
+        self.tmp_path = tmp_path
+        self.cache_dir = str(tmp_path / "cache")
+        self.coordinator_kwargs = coordinator_kwargs
+        self.coordinator = None
+        self.client = None
+        self.workers = {}
+
+    async def __aenter__(self):
+        self.coordinator = ReproService(
+            str(self.tmp_path / "coordinator"),
+            cache_dir=self.cache_dir,
+            **self.coordinator_kwargs,
+        )
+        port = await self.coordinator.start()
+        self.client = ServiceClient(f"http://127.0.0.1:{port}")
+        return self
+
+    async def __aexit__(self, *exc):
+        for service, _gate in self.workers.values():
+            try:
+                await service.stop()
+            except Exception:
+                pass
+        await self.coordinator.stop()
+
+    async def add_worker(self, worker_id, gate=None, started=None):
+        """Boot a worker service and register it with the coordinator."""
+        service = ReproService(
+            str(self.tmp_path / worker_id),
+            cache_dir=self.cache_dir,
+        )
+        port = await service.start()
+        gate_worker(service, gate=gate, started=started)
+        self.workers[worker_id] = (service, gate)
+        await call(
+            self.client.register_worker,
+            f"http://127.0.0.1:{port}",
+            worker_id=worker_id,
+        )
+        return service
+
+    async def kill_worker(self, worker_id):
+        """Close the worker's listener: every future dial is refused."""
+        service, _ = self.workers[worker_id]
+        service._server.close()
+        await service._server.wait_closed()
+
+    async def submit(self, **overrides):
+        job = await call(self.client.submit, make_spec(**overrides))
+        return job["id"]
+
+    async def settled(self, job_id, timeout=60.0):
+        store = self.coordinator.store
+
+        def terminal():
+            return store.get(job_id).terminal
+
+        await wait_until(terminal, timeout, f"job {job_id} to settle")
+        return store.get(job_id)
+
+    def done_events(self, job_id):
+        return [
+            event
+            for event in self.coordinator.scheduler.events(job_id)
+            if event.get("type") == "state" and event.get("state") == DONE
+        ]
+
+
+class TestKillWorkerMidJob:
+    def test_jobs_requeue_to_survivor_and_complete_once(self, tmp_path):
+        async def main():
+            before = FAULT_COUNTERS.snapshot()
+            async with Fleet(
+                tmp_path, job_workers=2, lease_seconds=60.0
+            ) as fleet:
+                gate = threading.Event()
+                victim = await fleet.add_worker("w-victim", gate=gate)
+                jobs = [
+                    await fleet.submit(source=0),
+                    await fleet.submit(source=1),
+                ]
+                # Both jobs must be in flight *on the victim* before the
+                # kill: its own store has accepted both submissions.
+                await wait_until(
+                    lambda: len(victim.store.jobs()) == 2,
+                    message="victim to accept both jobs",
+                )
+                await fleet.add_worker("w-survivor")  # instant-done fake
+                await fleet.kill_worker("w-victim")
+
+                records = [await fleet.settled(job) for job in jobs]
+                # Invariant 1: no job lost.
+                for record in records:
+                    assert record.state == DONE
+                    assert record.requeues == 1
+                    assert record.worker == "w-survivor"
+                # Invariant 2: no job double-completed -- even though
+                # the victim's copies are still queued behind the gate.
+                for job in jobs:
+                    assert len(fleet.done_events(job)) == 1
+                # Invariant 3: counters account for every re-queue.
+                delta = FAULT_COUNTERS.delta_since(before)
+                assert delta.get("fleet.requeued") == 2
+                assert delta.get("fleet.worker_lost", 0) >= 1
+                assert delta.get("fleet.dead", 0) >= 1
+                assert not delta.get("fleet.requeue_exhausted")
+                gate.set()  # release the victim's stranded executor
+
+        asyncio.run(main())
+
+    def test_requeue_budget_exhausts_to_failed(self, tmp_path):
+        # With no survivor, every re-dispatch dies again; after
+        # max_requeues the job settles failed instead of looping.
+        async def main():
+            before = FAULT_COUNTERS.snapshot()
+            async with Fleet(
+                tmp_path, job_workers=1, lease_seconds=60.0, max_requeues=1
+            ) as fleet:
+                gate = threading.Event()
+                started = threading.Event()
+                await fleet.add_worker("w-victim", gate=gate, started=started)
+                job = await fleet.submit(source=0)
+                await call(started.wait, 60.0)
+                await fleet.kill_worker("w-victim")
+
+                # First loss re-queues; the ring is now empty so the
+                # job falls back to the coordinator's local runner --
+                # gate that too so the retry path stays deterministic.
+                record = await fleet.settled(job)
+                delta = FAULT_COUNTERS.delta_since(before)
+                assert record.state == DONE  # local fallback completed it
+                assert delta.get("fleet.requeued") == 1
+                # The worker service (itself fleet-capable, zero
+                # workers) also counts a local fallback for the gated
+                # copy it accepted, so >=1 on the shared registry.
+                assert delta.get("fleet.local_fallback", 0) >= 1
+                gate.set()
+
+        asyncio.run(main())
+
+
+class TestLeaseStall:
+    def test_stalled_heartbeats_expire_and_requeue(self, tmp_path):
+        # The worker never heartbeats (no WorkerAgent attached): the
+        # reaper must expire its lease and revoke the in-flight job
+        # even though the worker's HTTP endpoint is still reachable.
+        async def main():
+            before = FAULT_COUNTERS.snapshot()
+            async with Fleet(
+                tmp_path,
+                job_workers=1,
+                lease_seconds=60.0,
+                reap_interval=0.05,
+            ) as fleet:
+                gate = threading.Event()
+                started = threading.Event()
+                stalled = await fleet.add_worker(
+                    "w-stalled", gate=gate, started=started
+                )
+                job = await fleet.submit(source=0)
+                await call(started.wait, 60.0)
+                await fleet.add_worker("w-survivor")
+
+                # Stall the lease deterministically: rewind the
+                # worker's last heartbeat past the lease so the next
+                # reaper sweep expires it (registering the survivor
+                # first keeps the retry off the local-fallback path).
+                registry = fleet.coordinator.registry
+                with registry._lock:
+                    registry._workers["w-stalled"].last_heartbeat -= 120.0
+                record = await fleet.settled(job)
+                assert record.state == DONE
+                assert record.requeues >= 1
+                assert record.worker == "w-survivor"
+                assert len(fleet.done_events(job)) == 1
+                assert (
+                    fleet.coordinator.registry.get("w-stalled").state
+                    == "dead"
+                )
+                delta = FAULT_COUNTERS.delta_since(before)
+                assert delta.get("fleet.expired", 0) >= 1
+                assert delta.get("fleet.revoked", 0) >= 1
+                assert delta.get("fleet.requeued", 0) >= 1
+                gate.set()
+                # The stalled worker eventually finishes its orphaned
+                # copy; that must not double-complete the job.
+                await wait_until(
+                    lambda: all(
+                        j.terminal for j in stalled.store.jobs()
+                    ),
+                    message="stalled worker to settle its orphan",
+                )
+                assert len(fleet.done_events(job)) == 1
+
+        asyncio.run(main())
+
+
+class TestBounceDuringDrain:
+    def test_graceful_deregister_finishes_in_flight_without_requeue(
+        self, tmp_path
+    ):
+        # A worker that deregisters (drain) keeps its in-flight job:
+        # the dispatch is not revoked, the job completes on the
+        # leaving worker, and nothing re-queues.
+        async def main():
+            before = FAULT_COUNTERS.snapshot()
+            async with Fleet(
+                tmp_path, job_workers=1, lease_seconds=60.0
+            ) as fleet:
+                gate = threading.Event()
+                started = threading.Event()
+                await fleet.add_worker(
+                    "w-bounce", gate=gate, started=started
+                )
+                job = await fleet.submit(source=0)
+                await call(started.wait, 60.0)
+
+                await call(fleet.client.deregister_worker, "w-bounce")
+                assert (
+                    fleet.coordinator.registry.get("w-bounce").state
+                    == "left"
+                )
+                gate.set()  # drain: the in-flight job finishes
+                record = await fleet.settled(job)
+                assert record.state == DONE
+                assert record.requeues == 0
+                assert record.worker == "w-bounce"
+                delta = FAULT_COUNTERS.delta_since(before)
+                assert not delta.get("fleet.requeued")
+                assert not delta.get("fleet.revoked")
+                assert delta.get("fleet.deregistered") == 1
+
+                # The bounce: the same worker id re-registers and is
+                # routable again.
+                service, _ = fleet.workers["w-bounce"]
+                await call(
+                    fleet.client.register_worker,
+                    f"http://127.0.0.1:{service.port}",
+                    worker_id="w-bounce",
+                )
+                assert (
+                    fleet.coordinator.registry.get("w-bounce").state
+                    == "alive"
+                )
+                gate.set()
+                second = await fleet.submit(source=1)
+                record = await fleet.settled(second)
+                assert record.state == DONE
+                assert record.worker == "w-bounce"
+                delta = FAULT_COUNTERS.delta_since(before)
+                assert delta.get("fleet.revived") == 1
+
+        asyncio.run(main())

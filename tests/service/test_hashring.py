@@ -1,0 +1,184 @@
+"""Consistent-hash ring: determinism, balance, and minimal remapping.
+
+The consistency properties (membership change only remaps keys touching
+the changed node) are exact, so they run under hypothesis across random
+key/node sets; the statistical properties (balance, ~1/N remap
+fraction) use seeded ``random.Random`` populations with generous
+bounds, so they are deterministic in CI.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.service.hashring import HashRing, _hash64
+
+
+def keys_for(n, seed):
+    rng = random.Random(seed)
+    return [f"key-{rng.getrandbits(64):016x}" for _ in range(n)]
+
+
+_node_ids = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+_keys = st.lists(st.text(min_size=1, max_size=32), min_size=1, max_size=40)
+
+
+class TestBasics:
+    def test_empty_ring_maps_nothing(self):
+        ring = HashRing()
+        assert ring.lookup("anything") is None
+        assert ring.preference("anything") == []
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(nodes=["w-a"])
+        for key in keys_for(50, seed=1):
+            assert ring.lookup(key) == "w-a"
+            assert ring.preference(key) == ["w-a"]
+
+    def test_membership_api(self):
+        ring = HashRing()
+        assert ring.add("w-a") is True
+        assert ring.add("w-a") is False  # idempotent
+        assert "w-a" in ring
+        assert ring.remove("w-a") is True
+        assert ring.remove("w-a") is False
+        assert "w-a" not in ring
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            HashRing(replicas=0)
+
+    def test_hash_is_stable_across_instances(self):
+        # The placement function is pure: same token, same position.
+        assert _hash64("w-a#0") == _hash64("w-a#0")
+        assert _hash64("w-a#0") != _hash64("w-a#1")
+
+
+class TestDeterminism:
+    @given(nodes=_node_ids, keys=_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_order_is_irrelevant(self, nodes, keys):
+        forward = HashRing(nodes=nodes)
+        backward = HashRing(nodes=list(reversed(nodes)))
+        for key in keys:
+            assert forward.lookup(key) == backward.lookup(key)
+            assert forward.preference(key) == backward.preference(key)
+
+    @given(nodes=_node_ids, keys=_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_preference_is_a_permutation(self, nodes, keys):
+        ring = HashRing(nodes=nodes)
+        for key in keys:
+            order = ring.preference(key)
+            assert sorted(order) == sorted(nodes)
+            assert order[0] == ring.lookup(key)
+
+    @given(nodes=_node_ids, keys=_keys, count=st.integers(0, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_preference_count_truncates(self, nodes, keys, count):
+        ring = HashRing(nodes=nodes)
+        for key in keys:
+            full = ring.preference(key)
+            assert ring.preference(key, count=count) == full[:count]
+
+
+class TestConsistency:
+    """Exact minimal-remap properties, checked key by key."""
+
+    @given(nodes=_node_ids, keys=_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_adding_a_node_only_steals_for_it(self, nodes, keys):
+        ring = HashRing(nodes=nodes)
+        before = {key: ring.lookup(key) for key in keys}
+        new = "zz-new-node"
+        ring.add(new)
+        for key in keys:
+            after = ring.lookup(key)
+            if after != before[key]:
+                assert after == new  # moves only TO the new node
+
+    @given(nodes=_node_ids, keys=_keys, victim=st.integers(0, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_removing_a_node_only_moves_its_keys(self, nodes, keys, victim):
+        ring = HashRing(nodes=nodes)
+        gone = nodes[victim % len(nodes)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove(gone)
+        for key in keys:
+            after = ring.lookup(key)
+            if before[key] != gone:
+                assert after == before[key]  # untouched nodes keep keys
+            else:
+                assert after != gone
+
+    @given(nodes=_node_ids, keys=_keys)
+    @settings(max_examples=30, deadline=None)
+    def test_add_then_remove_round_trips(self, nodes, keys):
+        ring = HashRing(nodes=nodes)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add("zz-transient")
+        ring.remove("zz-transient")
+        for key in keys:
+            assert ring.lookup(key) == before[key]
+
+
+class TestStatistics:
+    """Seeded-population bounds on balance and remap volume."""
+
+    def test_balance_within_bound(self):
+        # 8 workers, 64 virtual nodes each, 4000 keys: every worker
+        # should land within 2.5x of the fair share (generous, but a
+        # broken ring -- e.g. one node owning everything -- blows past).
+        workers = [f"w-{i}" for i in range(8)]
+        ring = HashRing(replicas=64, nodes=workers)
+        counts = {node: 0 for node in workers}
+        for key in keys_for(4000, seed=7):
+            counts[ring.lookup(key)] += 1
+        fair = 4000 / len(workers)
+        for node, count in counts.items():
+            assert count < 2.5 * fair, (node, counts)
+            assert count > fair / 2.5, (node, counts)
+
+    def test_remap_fraction_is_about_one_over_n(self):
+        # Removing 1 of N workers must remap exactly the victim's keys,
+        # which should be ~1/N of the population (within 3x).
+        workers = [f"w-{i}" for i in range(8)]
+        keys = keys_for(4000, seed=11)
+        ring = HashRing(replicas=64, nodes=workers)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove("w-3")
+        moved = sum(
+            1 for key in keys if ring.lookup(key) != before[key]
+        )
+        fair = len(keys) / len(workers)
+        assert moved < 3.0 * fair, moved
+        assert moved > fair / 3.0, moved
+        # And the moved set is exactly the victim's former keys.
+        assert moved == sum(1 for k in keys if before[k] == "w-3")
+
+    def test_scale_up_remap_fraction(self):
+        workers = [f"w-{i}" for i in range(7)]
+        keys = keys_for(4000, seed=13)
+        ring = HashRing(replicas=64, nodes=workers)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add("w-7")
+        moved = sum(
+            1 for key in keys if ring.lookup(key) != before[key]
+        )
+        fair = len(keys) / 8
+        assert moved < 3.0 * fair, moved
+        assert moved > fair / 3.0, moved

@@ -1,0 +1,190 @@
+"""Worker registry: leases, revival, supersession, routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobSpecError, UnknownWorkerError
+from repro.obs.counters import FAULT_COUNTERS
+from repro.service.registry import ALIVE, DEAD, LEFT, WorkerRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def make_registry(lease=10.0):
+    clock = FakeClock()
+    return WorkerRegistry(lease_seconds=lease, clock=clock), clock
+
+
+class TestMembership:
+    def test_register_and_get(self):
+        reg, _ = make_registry()
+        worker = reg.register("http://127.0.0.1:9001", capacity=2)
+        assert worker.state == ALIVE
+        assert worker.id.startswith("w-")
+        assert reg.get(worker.id).url == "http://127.0.0.1:9001"
+        assert worker.id in reg.ring
+        assert len(reg.alive()) == 1
+
+    def test_url_must_be_http(self):
+        reg, _ = make_registry()
+        with pytest.raises(JobSpecError):
+            reg.register("not-a-url")
+
+    def test_reregister_same_id_refreshes_lease(self):
+        reg, clock = make_registry(lease=5.0)
+        worker = reg.register("http://w:1", worker_id="w-fixed")
+        clock.tick(4.0)
+        again = reg.register("http://w:1", worker_id="w-fixed")
+        assert again.id == worker.id
+        clock.tick(4.0)  # 8s since first register, 4s since refresh
+        assert reg.expire() == []
+        assert reg.get("w-fixed").state == ALIVE
+
+    def test_same_url_supersedes_old_worker(self):
+        # A worker process restarting with a fresh id before its old
+        # lease lapsed must replace -- not duplicate -- itself.
+        reg, _ = make_registry()
+        before = FAULT_COUNTERS.snapshot()
+        old = reg.register("http://w:1")
+        new = reg.register("http://w:1")
+        assert new.id != old.id
+        assert reg.get(old.id).state == LEFT
+        assert old.id not in reg.ring
+        assert new.id in reg.ring
+        delta = FAULT_COUNTERS.delta_since(before)
+        assert delta.get("fleet.superseded") == 1
+
+    def test_deregister_is_graceful(self):
+        reg, _ = make_registry()
+        worker = reg.register("http://w:1")
+        left = reg.deregister(worker.id)
+        assert left.state == LEFT
+        assert worker.id not in reg.ring
+        # A left worker cannot heartbeat back in; it must re-register.
+        with pytest.raises(UnknownWorkerError):
+            reg.heartbeat(worker.id)
+
+    def test_unknown_worker_operations_raise(self):
+        reg, _ = make_registry()
+        with pytest.raises(UnknownWorkerError):
+            reg.heartbeat("w-nope")
+        with pytest.raises(UnknownWorkerError):
+            reg.deregister("w-nope")
+        with pytest.raises(UnknownWorkerError):
+            reg.get("w-nope")
+
+
+class TestLeases:
+    def test_expire_after_lease_lapse(self):
+        reg, clock = make_registry(lease=2.0)
+        worker = reg.register("http://w:1")
+        clock.tick(1.0)
+        assert reg.expire() == []
+        clock.tick(1.5)  # 2.5s without a heartbeat > 2.0s lease
+        expired = reg.expire()
+        assert [w.id for w in expired] == [worker.id]
+        assert reg.get(worker.id).state == DEAD
+        assert worker.id not in reg.ring
+        # Idempotent: a dead worker does not expire twice.
+        assert reg.expire() == []
+
+    def test_heartbeat_extends_lease(self):
+        reg, clock = make_registry(lease=2.0)
+        worker = reg.register("http://w:1")
+        for _ in range(5):
+            clock.tick(1.5)
+            reg.heartbeat(worker.id)
+        assert reg.expire() == []
+        assert reg.get(worker.id).heartbeats == 5
+
+    def test_heartbeat_revives_expired_worker(self):
+        # A partitioned (not crashed) worker that beats again rejoins.
+        reg, clock = make_registry(lease=2.0)
+        before = FAULT_COUNTERS.snapshot()
+        worker = reg.register("http://w:1")
+        clock.tick(3.0)
+        reg.expire()
+        assert reg.get(worker.id).state == DEAD
+        revived = reg.heartbeat(worker.id)
+        assert revived.state == ALIVE
+        assert worker.id in reg.ring
+        delta = FAULT_COUNTERS.delta_since(before)
+        assert delta.get("fleet.revived") == 1
+
+    def test_per_worker_lease_override(self):
+        reg, clock = make_registry(lease=10.0)
+        quick = reg.register("http://w:1", lease_seconds=1.0)
+        slow = reg.register("http://w:2")
+        clock.tick(2.0)
+        expired = reg.expire()
+        assert [w.id for w in expired] == [quick.id]
+        assert reg.get(slow.id).state == ALIVE
+
+    def test_mark_dead_leaves_ring_immediately(self):
+        reg, _ = make_registry()
+        worker = reg.register("http://w:1")
+        reg.mark_dead(worker.id, reason="connection refused")
+        assert reg.get(worker.id).state == DEAD
+        assert worker.id not in reg.ring
+        assert reg.route("any-key") is None
+
+
+class TestRouting:
+    def test_route_empty_registry(self):
+        reg, _ = make_registry()
+        assert reg.route("key") is None
+
+    def test_route_is_sticky(self):
+        reg, _ = make_registry()
+        for i in range(3):
+            reg.register(f"http://w:{i}", worker_id=f"w-{i}")
+        first = reg.route("some-spec-key").id
+        for _ in range(10):
+            assert reg.route("some-spec-key").id == first
+
+    def test_route_skips_dead_workers(self):
+        reg, _ = make_registry()
+        for i in range(3):
+            reg.register(f"http://w:{i}", worker_id=f"w-{i}")
+        primary = reg.route("k").id
+        reg.mark_dead(primary)
+        fallback = reg.route("k")
+        assert fallback is not None and fallback.id != primary
+
+    def test_route_spills_past_full_workers(self):
+        reg, _ = make_registry()
+        for i in range(2):
+            reg.register(f"http://w:{i}", worker_id=f"w-{i}", capacity=1)
+        primary = reg.route("k").id
+        other = "w-0" if primary == "w-1" else "w-1"
+        reg.note_dispatch(primary)  # primary now at capacity
+        assert reg.route("k").id == other
+        # Everyone full: the primary owner absorbs the burst anyway
+        # (cache affinity beats queueing elsewhere).
+        reg.note_dispatch(other)
+        assert reg.route("k").id == primary
+        reg.note_done(primary)
+        assert reg.route("k").id == primary
+
+    def test_dispatch_accounting(self):
+        reg, _ = make_registry()
+        worker = reg.register("http://w:1")
+        reg.note_dispatch(worker.id)
+        reg.note_dispatch(worker.id)
+        info = reg.get(worker.id)
+        assert info.dispatched == 2 and info.inflight == 2
+        reg.note_done(worker.id)
+        assert reg.get(worker.id).inflight == 1
+        reg.note_done(worker.id)
+        reg.note_done(worker.id)  # floor at zero, never negative
+        assert reg.get(worker.id).inflight == 0

@@ -1,0 +1,212 @@
+"""Optional numba-compiled kernels behind the ``nova-jit`` system.
+
+The vectorized :class:`~repro.core.engine.NovaEngine` is already
+numpy-heavy, but two hot primitives remain multi-pass by construction:
+
+- **CSR edge expansion** (:func:`repro.workloads.base.expand_edges`)
+  materializes ragged ranges through a repeat/cumsum/arange pipeline --
+  roughly six full-length temporaries per MGU batch;
+- **the exact cache model** (:class:`repro.memory.cache.CacheArray`)
+  resolves each access batch through a stable sort plus ~15 vectorized
+  passes (segment detection, reduceat, searchsorted).
+
+:class:`NumbaNovaEngine` swaps both for single-pass ``@njit`` kernels
+that implement the same in-order scalar semantics directly, so outputs
+are bit-identical by construction -- the engine-differential matrix and
+golden timeline fixtures hold for ``nova-jit`` exactly as they do for
+the vectorized engine.
+
+numba is an *optional* dependency (the ``jit`` extra in
+``pyproject.toml``).  This module imports cleanly without it:
+:data:`NUMBA_AVAILABLE` reports the outcome and
+:func:`resolve_jit_engine` falls back transparently to the vectorized
+engine, so ``NovaSystem(..., engine="jit")`` and specs keyed
+``system="nova-jit"`` run on every host.  The first compiled call per
+process pays numba's JIT compilation cost (cached on disk by numba
+where possible); sweeps amortize it across cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import NovaEngine
+from repro.errors import ConfigError, WorkloadError
+from repro.memory.cache import CacheArray, CacheArrayResult
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except Exception:  # ImportError, or a broken numba install
+    njit = None
+    NUMBA_AVAILABLE = False
+
+
+def jit_backend() -> str:
+    """``"numba"`` when compiled kernels are active, else the fallback."""
+    return "numba" if NUMBA_AVAILABLE else "vectorized-fallback"
+
+
+def resolve_jit_engine():
+    """The engine class behind ``engine="jit"`` / ``system="nova-jit"``.
+
+    Returns :class:`NumbaNovaEngine` when numba imports, else the plain
+    vectorized :class:`NovaEngine` -- same results either way (the
+    compiled kernels are bit-identical), only the constant factor
+    changes.
+    """
+    if NUMBA_AVAILABLE:
+        return NumbaNovaEngine
+    return NovaEngine
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - needs numba
+
+    @njit(cache=True)
+    def _expand_offsets_kernel(starts, ends, total):
+        """Single-pass ragged range expansion.
+
+        Replaces the repeat/cumsum/arange pipeline: one linear walk
+        fills ``owner`` (index into the range list) and ``offsets``
+        (absolute edge-array positions) for every expanded edge.
+        """
+        m = starts.shape[0]
+        owner = np.empty(total, dtype=np.int64)
+        offsets = np.empty(total, dtype=np.int64)
+        k = 0
+        for i in range(m):
+            for j in range(starts[i], ends[i]):
+                owner[k] = i
+                offsets[k] = j
+                k += 1
+        return owner, offsets
+
+    @njit(cache=True)
+    def _cache_access_kernel(tags, dirty, caches, blocks, writes, num_sets,
+                             num_caches):
+        """In-order direct-mapped write-back cache walk over all caches.
+
+        The scalar semantics :class:`CacheArray` reproduces through its
+        sorted-batch formulation, executed literally: one pass in
+        program order, mutating the persistent tag/dirty stores in
+        place.  Per-set state is independent, so program order per
+        cache (which the batch preserves) fixes every count and the
+        final state.
+        """
+        n = blocks.shape[0]
+        hits = 0
+        writebacks = 0
+        misses_per_cache = np.zeros(num_caches, dtype=np.int64)
+        writebacks_per_cache = np.zeros(num_caches, dtype=np.int64)
+        for i in range(n):
+            c = caches[i]
+            b = blocks[i]
+            s = c * num_sets + b % num_sets
+            if tags[s] == b:
+                hits += 1
+                if writes[i]:
+                    dirty[s] = True
+            else:
+                misses_per_cache[c] += 1
+                if tags[s] != -1 and dirty[s]:
+                    writebacks += 1
+                    writebacks_per_cache[c] += 1
+                tags[s] = b
+                dirty[s] = writes[i]
+        return hits, writebacks, misses_per_cache, writebacks_per_cache
+
+
+def _jit_expand_edges(graph, vertices, starts=None, ends=None):
+    """Drop-in :func:`expand_edges` with the compiled offset kernel.
+
+    Validation, early-outs, dtypes, and the final gather are identical
+    to the numpy implementation; only the offset/owner construction is
+    compiled.  Never called when numba is absent (the fallback engine
+    keeps the numpy path).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    row_ptr = graph.row_ptr
+    if starts is None:
+        starts = row_ptr[vertices]
+    if ends is None:
+        ends = row_ptr[vertices + 1]
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    ends = np.ascontiguousarray(ends, dtype=np.int64)
+    counts = ends - starts
+    if (counts < 0).any():
+        raise WorkloadError("edge ranges must have end >= start")
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, (
+            np.empty(0) if graph.weights is not None else None
+        )
+    owner, offsets = _expand_offsets_kernel(starts, ends, total)
+    dests = graph.col_idx[offsets]
+    weights = graph.weights[offsets] if graph.weights is not None else None
+    return owner, dests, weights
+
+
+class JitCacheArray(CacheArray):
+    """:class:`CacheArray` with the batch resolved by a compiled walk.
+
+    Input validation, counters, and the persistent tag/dirty stores are
+    inherited; only :meth:`access`'s batch resolution changes.  Counts
+    and final state are bit-identical to the vectorized formulation
+    (see the kernel docstring).
+    """
+
+    def access(self, caches, blocks, writes) -> CacheArrayResult:
+        blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+        caches = np.ascontiguousarray(caches, dtype=np.int64)
+        if blocks.ndim != 1 or caches.shape != blocks.shape:
+            raise ConfigError(
+                "caches and blocks must be equal-length 1-D arrays"
+            )
+        n = blocks.shape[0]
+        zeros = np.zeros(self.num_caches, dtype=np.int64)
+        if n == 0:
+            return CacheArrayResult(0, 0, 0, zeros, zeros.copy())
+        if caches.min() < 0 or caches.max() >= self.num_caches:
+            raise ConfigError("cache index out of range")
+        if np.isscalar(writes) or isinstance(writes, (bool, np.bool_)):
+            writes = np.full(n, bool(writes), dtype=bool)
+        else:
+            writes = np.ascontiguousarray(writes, dtype=bool)
+            if writes.shape != blocks.shape:
+                raise ConfigError("writes must match blocks in shape")
+        hits, writebacks, misses_per_cache, writebacks_per_cache = (
+            _cache_access_kernel(
+                self._tags, self._dirty, caches, blocks, writes,
+                self.num_sets, self.num_caches,
+            )
+        )
+        hit_count = int(hits)
+        miss_count = n - hit_count
+        self.lifetime_hits += hit_count
+        self.lifetime_misses += miss_count
+        self.lifetime_writebacks += int(writebacks)
+        return CacheArrayResult(
+            hits=hit_count,
+            misses=miss_count,
+            writebacks=int(writebacks),
+            misses_per_cache=misses_per_cache,
+            writebacks_per_cache=writebacks_per_cache,
+        )
+
+
+class NumbaNovaEngine(NovaEngine):
+    """The vectorized engine with compiled expansion + cache kernels."""
+
+    _expand = staticmethod(_jit_expand_edges)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        config = self.config
+        # Fresh per run (engines are single-use), so swapping the cold
+        # vectorized cache for the compiled one changes no state.
+        self.cache = JitCacheArray(
+            config.num_pes, config.cache_bytes_per_pe,
+            config.cache_line_bytes,
+        )

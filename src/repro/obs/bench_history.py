@@ -257,6 +257,7 @@ def metrics_from_reports(
     hotpath_cases: Dict[str, Dict],
     obs_cases: Optional[Dict[str, Dict]] = None,
     store_metrics: Optional[Dict[str, float]] = None,
+    batch_metrics: Optional[Dict[str, float]] = None,
 ) -> Dict[str, float]:
     """Flatten perf_smoke's per-case reports into named history metrics."""
     out: Dict[str, float] = {}
@@ -275,6 +276,9 @@ def metrics_from_reports(
         # Already speedups (higher is better): map-vs-rebuild and the
         # cold-vs-warm sweep wall clock from BENCH_graph_store.json.
         out[f"graph_store.{name}"] = float(value)
+    for name, value in (batch_metrics or {}).items():
+        # Batched-vs-unbatched sweep speedups from BENCH_batch.json.
+        out[f"batch.{name}"] = float(value)
     return out
 
 
@@ -292,4 +296,5 @@ def metrics_from_bench_dir(results_dir: str) -> Dict[str, float]:
         _load("BENCH_hotpath.json", "cases"),
         _load("BENCH_obs.json", "cases"),
         _load("BENCH_graph_store.json", "metrics"),
+        _load("BENCH_batch.json", "metrics"),
     )

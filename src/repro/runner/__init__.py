@@ -21,6 +21,9 @@ recomputation (:class:`~repro.runner.checkpoint.SweepCheckpoint` +
 Environment knobs:
 
 - ``REPRO_WORKERS``: worker-process count (default: ``os.cpu_count()``).
+- ``REPRO_SWEEP_BATCH``: truthy enables batched same-graph execution
+  (cells sharing a graph dispatch as one worker task per round; see
+  :mod:`repro.runner.batch`).
 - ``REPRO_CACHE_DIR``: cache root (default ``~/.cache/repro-nova``).
 - ``REPRO_CACHE_MAX_BYTES``: if set, prune least-recently-used entries
   past this size after each sweep.
@@ -41,6 +44,7 @@ Public entry points: :class:`~repro.runner.sweep.SweepRunner`,
 :class:`~repro.runner.spec.RunSpec`, :class:`~repro.runner.spec.GraphSpec`.
 """
 
+from repro.runner.batch import group_cells
 from repro.runner.cache import RunCache, default_cache_dir, graph_digest, spec_key
 from repro.runner.checkpoint import SweepCheckpoint, sweep_id
 from repro.runner.fault import RetryPolicy, RunFailure
@@ -66,6 +70,7 @@ __all__ = [
     "default_cache_dir",
     "execute_spec",
     "graph_digest",
+    "group_cells",
     "register_system",
     "spec_key",
     "sweep_id",

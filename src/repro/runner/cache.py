@@ -28,9 +28,11 @@ import hashlib
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from typing import Optional
 
 from repro.core.metrics import RunResult
+from repro.obs.counters import FAULT_COUNTERS
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import VertexPlacement
 from repro.runner.spec import GraphSpec, RunSpec
@@ -48,22 +50,109 @@ def default_cache_dir() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-nova")
 
 
+#: Artifact identity -> digest memo for store-backed graphs.  Keyed by
+#: the memmap file paths (content-addressed and immutable once
+#: published), so an N-cell sweep over one store graph hashes the CSR
+#: arrays once instead of N times.  Bounded LRU; in-memory graphs are
+#: never memoized (nothing pins their bytes immutable).
+_DIGEST_MEMO: "OrderedDict[tuple, str]" = OrderedDict()
+_DIGEST_MEMO_CAPACITY = 64
+
+
+def _backing_file(array) -> Optional[str]:
+    """The mmap file behind an array, walking view chains, else None.
+
+    :class:`CSRGraph` wraps the store's ``np.memmap`` arrays in
+    ``ascontiguousarray`` views, so the ``.filename`` lives on a
+    ``.base`` ancestor rather than the array itself.
+    """
+    seen = 0
+    while array is not None and seen < 8:
+        filename = getattr(array, "filename", None)
+        if filename:
+            return str(filename)
+        array = getattr(array, "base", None)
+        seen += 1
+    return None
+
+
+def _artifact_identity(graph: CSRGraph) -> Optional[tuple]:
+    """A hashable identity for a store-backed (memmap) graph, else None.
+
+    Store artifacts are read-only ``np.memmap`` arrays whose
+    ``.filename`` points into the content-addressed store: same paths,
+    same bytes.  Any array without a backing file (in-memory graphs,
+    zero-length arrays loaded eagerly) disqualifies the graph from
+    memoization -- correctness first, the memo is only an optimization.
+    """
+    arrays = [graph.row_ptr, graph.col_idx]
+    if graph.has_weights:
+        arrays.append(graph.weights)
+    names = []
+    for array in arrays:
+        filename = _backing_file(array)
+        if filename is None:
+            return None
+        names.append(filename)
+    return (graph.num_vertices, graph.num_edges, tuple(names))
+
+
 def graph_digest(graph: CSRGraph) -> str:
-    """SHA-256 over the graph's CSR arrays (shape- and weight-aware)."""
+    """SHA-256 over the graph's CSR arrays (shape- and weight-aware).
+
+    Store-backed graphs memoize the digest by artifact identity (the
+    published files are immutable), so repeated digests of the same
+    multi-GB artifact cost one dictionary lookup instead of re-reading
+    and re-hashing the arrays.  The digest itself is byte-identical
+    either way: memoized entries are computed by this same recipe on
+    first sight.
+    """
+    identity = _artifact_identity(graph)
+    if identity is not None:
+        memoized = _DIGEST_MEMO.get(identity)
+        if memoized is not None:
+            _DIGEST_MEMO.move_to_end(identity)
+            FAULT_COUNTERS.increment("cache.digest_memo_hits")
+            return memoized
     h = hashlib.sha256()
     h.update(f"v={graph.num_vertices};e={graph.num_edges};".encode())
     h.update(graph.row_ptr.tobytes())
     h.update(graph.col_idx.tobytes())
     if graph.has_weights:
         h.update(graph.weights.tobytes())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    if identity is not None:
+        _DIGEST_MEMO[identity] = digest
+        while len(_DIGEST_MEMO) > _DIGEST_MEMO_CAPACITY:
+            _DIGEST_MEMO.popitem(last=False)
+    return digest
+
+
+#: Config object -> token memo.  ``dataclasses.asdict`` walks every
+#: field recursively and dominates :func:`spec_key` on large grids that
+#: share one config instance.  Only *frozen* dataclasses are memoized
+#: (mutable configs could change between calls); entries hold a strong
+#: reference to the config so its ``id()`` cannot be recycled.
+_CONFIG_TOKEN_MEMO: "OrderedDict[int, tuple]" = OrderedDict()
+_CONFIG_TOKEN_CAPACITY = 32
 
 
 def _config_token(config) -> str:
     if config is None:
         return "default"
     if dataclasses.is_dataclass(config):
-        return f"{type(config).__name__}:{dataclasses.asdict(config)!r}"
+        frozen = type(config).__dataclass_params__.frozen
+        if frozen:
+            memoized = _CONFIG_TOKEN_MEMO.get(id(config))
+            if memoized is not None and memoized[0] is config:
+                _CONFIG_TOKEN_MEMO.move_to_end(id(config))
+                return memoized[1]
+        token = f"{type(config).__name__}:{dataclasses.asdict(config)!r}"
+        if frozen:
+            _CONFIG_TOKEN_MEMO[id(config)] = (config, token)
+            while len(_CONFIG_TOKEN_MEMO) > _CONFIG_TOKEN_CAPACITY:
+                _CONFIG_TOKEN_MEMO.popitem(last=False)
+        return token
     return f"{type(config).__name__}:{config!r}"
 
 

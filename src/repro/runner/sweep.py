@@ -73,16 +73,32 @@ def register_system(name: str, executor: Callable[[RunSpec], RunResult]) -> None
     _SYSTEM_EXECUTORS[name] = executor
 
 
-def _run_nova(spec: RunSpec) -> RunResult:
+def _nova_system(spec: RunSpec, engine: str = "vectorized"):
+    """Build the configured :class:`NovaSystem` for one spec."""
     from repro.core.system import NovaSystem
-    from repro.obs.config import make_recorder
     from repro.sim.config import scaled_config
 
     graph = spec.resolve_graph()
     config = spec.config if spec.config is not None else scaled_config()
-    system = NovaSystem(
-        config, graph, placement=spec.placement, seed=spec.placement_seed
+    return NovaSystem(
+        config,
+        graph,
+        placement=spec.placement,
+        seed=spec.placement_seed,
+        engine=engine,
     )
+
+
+def _nova_run(system, spec: RunSpec) -> RunResult:
+    """Execute one spec on a prebuilt (possibly reused) system.
+
+    ``NovaSystem.run`` constructs a fresh engine per call, so reusing
+    one system across a batch of cells sharing (graph, config,
+    placement) is bit-identical to building a system per cell -- only
+    the placement construction is amortized.
+    """
+    from repro.obs.config import make_recorder
+
     return system.run(
         spec.workload,
         source=spec.source,
@@ -90,6 +106,21 @@ def _run_nova(spec: RunSpec) -> RunResult:
         recorder=make_recorder(spec.obs),
         **spec.workload_kwargs,
     )
+
+
+def _run_nova(spec: RunSpec) -> RunResult:
+    return _nova_run(_nova_system(spec), spec)
+
+
+def _run_nova_jit(spec: RunSpec) -> RunResult:
+    """The ``nova-jit`` system: numba-compiled kernels when available.
+
+    Falls back transparently to the vectorized engine when numba is
+    not importable (see :mod:`repro.core.engine_numba`), so specs keyed
+    ``system="nova-jit"`` are runnable on every host -- the cache key
+    still separates them from plain ``nova`` entries.
+    """
+    return _nova_run(_nova_system(spec, engine="jit"), spec)
 
 
 def _run_polygraph(spec: RunSpec) -> RunResult:
@@ -111,13 +142,21 @@ def _run_ligra(spec: RunSpec) -> RunResult:
 
 
 register_system("nova", _run_nova)
+register_system("nova-jit", _run_nova_jit)
 register_system("polygraph", _run_polygraph)
 register_system("ligra", _run_ligra)
+
+#: Systems whose engines thread a MetricsRecorder (timeline/profiling).
+_OBS_SYSTEMS = ("nova", "nova-jit")
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one simulation to completion (the worker entry point)."""
-    if spec.system != "nova" and spec.obs is not None and spec.obs.active:
+    if (
+        spec.system not in _OBS_SYSTEMS
+        and spec.obs is not None
+        and spec.obs.active
+    ):
         raise ConfigError(
             "observability instrumentation is only supported for the "
             f"nova system, not {spec.system!r}"
@@ -148,35 +187,66 @@ class _Outcome:
     timed_out: bool = False
     worker_died: bool = False
     elapsed_seconds: float = 0.0
+    #: True when the producing worker already flushed the result to the
+    #: run cache (batched execution stores worker-side for crash
+    #: durability); the parent then skips the redundant store.
+    stored: bool = False
 
 
-def _execute_with_timeout(spec: RunSpec, timeout: Optional[float]) -> RunResult:
+def _execute_with_timeout(
+    spec: RunSpec,
+    timeout: Optional[float],
+    run: Callable[[RunSpec], RunResult] = None,
+) -> RunResult:
     """Run a spec under a SIGALRM watchdog (main-thread only).
 
     Pool workers always run tasks in their process's main thread, so
     the alarm is available there; an inline runner invoked off the main
     thread silently skips enforcement rather than crashing.
+
+    A non-positive timeout raises :class:`ConfigError` -- ``0`` used to
+    silently disable enforcement, which read as "timeout immediately".
+    A pre-existing ``ITIMER_REAL`` (a caller's own watchdog) is re-armed
+    on exit with whatever time it had left rather than being clobbered
+    to zero.
     """
+    if run is None:
+        run = execute_spec
+    if timeout is not None and timeout <= 0:
+        raise ConfigError(
+            f"timeout must be positive (or None to disable), got {timeout:g}"
+        )
     if (
         timeout is None
         or not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
-        return execute_spec(spec)
+        return run(spec)
 
     def _on_alarm(signum, frame):
         raise RunTimeoutError(f"run exceeded {timeout:g}s timeout")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    prior_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
+    started = time.monotonic()
     try:
-        return execute_spec(spec)
+        return run(spec)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prior_timer[0] > 0.0:
+            # Re-arm the interrupted watchdog with its remaining time
+            # (floored so an already-expired timer still fires promptly
+            # instead of being disarmed by a 0.0 value).
+            remaining = max(prior_timer[0] - (time.monotonic() - started), 1e-6)
+            signal.setitimer(signal.ITIMER_REAL, remaining, prior_timer[1])
 
 
-def _attempt(spec: RunSpec, timeout: Optional[float]) -> _Outcome:
+def _attempt(
+    spec: RunSpec,
+    timeout: Optional[float],
+    run: Callable[[RunSpec], RunResult] = None,
+) -> _Outcome:
     """Run one spec, converting exceptions into a structured outcome.
 
     Exceptions are flattened to (type name, message) in the worker so
@@ -184,7 +254,7 @@ def _attempt(spec: RunSpec, timeout: Optional[float]) -> _Outcome:
     """
     start = time.perf_counter()
     try:
-        result = _execute_with_timeout(spec, timeout)
+        result = _execute_with_timeout(spec, timeout, run=run)
     except Exception as exc:
         return _Outcome(
             ok=False,
@@ -208,6 +278,40 @@ _WORKER_DIED = _Outcome(
 )
 
 
+def _traced_attempt(
+    spec: RunSpec, timeout: Optional[float], trace_dir: str, token: str
+) -> _Outcome:
+    """:func:`_attempt` plus start/done breadcrumbs for victim forensics.
+
+    When a shared pool collapses, *every* in-flight future raises
+    ``BrokenProcessPool`` -- the parent cannot tell from the futures
+    alone which task's process actually died.  Each task therefore
+    drops a ``<token>.start`` marker (holding its worker pid) the
+    moment it begins and a ``<token>.done`` marker when it returns;
+    after the collapse the parent joins the markers against worker
+    exit codes to charge only the true victim (see
+    :meth:`SweepRunner._classify_collapse`).  Marker I/O failures are
+    swallowed: forensics degrade to the conservative pre-fix behavior,
+    they never fail a run.
+    """
+    try:
+        with open(
+            os.path.join(trace_dir, token + ".start"), "w", encoding="utf-8"
+        ) as f:
+            f.write(str(os.getpid()))
+    except OSError:
+        pass
+    outcome = _attempt(spec, timeout)
+    try:
+        with open(
+            os.path.join(trace_dir, token + ".done"), "w", encoding="utf-8"
+        ) as f:
+            f.write("")
+    except OSError:
+        pass
+    return outcome
+
+
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
@@ -218,6 +322,12 @@ def _default_workers() -> int:
     if env is not None:
         return env
     return os.cpu_count() or 1
+
+
+#: Free re-pool passes an innocent collapse sibling gets before it is
+#: charged as a suspect anyway -- bounds the rounds a pool that keeps
+#: collapsing before any task starts can spin without consuming budget.
+_MAX_FREE_REQUEUES = 3
 
 
 @dataclass
@@ -272,6 +382,13 @@ class SweepRunner:
             ``REPRO_RUN_TIMEOUT`` / ``REPRO_RUN_RETRIES`` /
             ``REPRO_RETRY_BACKOFF`` with defaults (no timeout, one
             retry for transient failures).
+        batch: group cells sharing a graph into one worker task each
+            (see :mod:`repro.runner.batch`): the worker maps the graph
+            once, reuses the system per config, and runs the group's
+            cells back-to-back, flushing each result to the cache
+            individually.  ``None`` reads ``REPRO_SWEEP_BATCH``
+            (default off).  Results are bit-identical to unbatched
+            execution; only per-task fixed costs are amortized.
     """
 
     def __init__(
@@ -280,12 +397,18 @@ class SweepRunner:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         policy: Optional[RetryPolicy] = None,
+        batch: Optional[bool] = None,
     ) -> None:
         self.workers = workers if workers is not None else _default_workers()
         if self.workers < 1:
             raise ConfigError("workers must be at least 1")
         self.cache = RunCache(cache_dir) if use_cache else None
         self.policy = policy if policy is not None else RetryPolicy.from_env()
+        if batch is None:
+            batch = os.environ.get("REPRO_SWEEP_BATCH", "").strip() not in (
+                "", "0", "false", "no",
+            )
+        self.batch = bool(batch)
 
     def run_one(self, spec: RunSpec) -> RunResult:
         results, _ = self.run([spec])
@@ -400,6 +523,7 @@ class SweepRunner:
         resolved: Dict[str, Union[RunResult, RunFailure]] = {}
         attempts: Dict[str, int] = {key: 0 for key in todo}
         last_outcome: Dict[str, _Outcome] = {}
+        requeue_counts: Dict[str, int] = {}
         pending: Dict[str, RunSpec] = dict(todo)
         round_index = 0
 
@@ -408,7 +532,8 @@ class SweepRunner:
             last_outcome[key] = outcome
             if outcome.ok:
                 resolved[key] = outcome.result
-                self._flush(key, outcome.result, checkpoint)
+                self._flush(key, outcome.result, checkpoint,
+                            stored=outcome.stored)
                 if monitor is not None:
                     monitor.finish(key, ok=True,
                                    elapsed_seconds=outcome.elapsed_seconds)
@@ -462,6 +587,27 @@ class SweepRunner:
                 if delay:
                     time.sleep(delay)
             retries: Dict[str, RunSpec] = {}
+            requeues: Dict[str, RunSpec] = {}
+
+            def requeue(key: str) -> None:
+                # An innocent sibling of a pool collapse: its process did
+                # not die, it only lost its seat when the shared pool
+                # broke.  Re-queue it for the next round without touching
+                # its attempt count or the retry budget.  The free pass
+                # is bounded so a pathological pool that keeps collapsing
+                # before any task starts still terminates.
+                if requeue_counts.get(key, 0) >= _MAX_FREE_REQUEUES:
+                    complete(key, _WORKER_DIED)
+                    return
+                requeue_counts[key] = requeue_counts.get(key, 0) + 1
+                requeues[key] = todo[key]
+                FAULT_COUNTERS.increment("sweep.requeues")
+                if monitor is not None:
+                    monitor.requeue(key)
+                trace_event(
+                    "sweep.requeue", key=key, free_pass=requeue_counts[key]
+                )
+
             # Keys whose worker died are suspects: re-run each in its own
             # single-task pool so a poisoned spec cannot keep breaking the
             # shared pool and draining sibling retry budgets.
@@ -477,8 +623,8 @@ class SweepRunner:
             with trace_span(
                 "sweep.execute", runs=len(pending), round=round_index
             ):
-                self._run_batch(pending, suspects, complete)
-            pending = retries
+                self._run_round(pending, suspects, complete, requeue)
+            pending = {**retries, **requeues}
             round_index += 1
         return resolved
 
@@ -487,24 +633,32 @@ class SweepRunner:
         key: str,
         result: RunResult,
         checkpoint: Optional[SweepCheckpoint],
+        stored: bool = False,
     ) -> None:
         """Checkpoint one completed run the moment it finishes."""
         if self.cache is not None:
-            try:
-                self.cache.store(key, result)
+            if stored:
+                # A batch worker already flushed this result to the
+                # cache; count the flush, skip the redundant store.
                 FAULT_COUNTERS.increment("sweep.checkpoint_flushes")
-            except OSError:
-                # A full or flaky disk must not kill a completed run --
-                # the result is still returned, it just won't be reused.
-                FAULT_COUNTERS.increment("sweep.cache_errors")
+            else:
+                try:
+                    self.cache.store(key, result)
+                    FAULT_COUNTERS.increment("sweep.checkpoint_flushes")
+                except OSError:
+                    # A full or flaky disk must not kill a completed run
+                    # -- the result is still returned, it just won't be
+                    # reused.
+                    FAULT_COUNTERS.increment("sweep.cache_errors")
         if checkpoint is not None:
             checkpoint.mark(key)
 
-    def _run_batch(
+    def _run_round(
         self,
         batch: Dict[str, RunSpec],
         suspects: set,
         complete: Callable[[str, _Outcome], None],
+        requeue: Callable[[str], None],
     ) -> None:
         """Run one round, reporting each key's outcome as it settles."""
         timeout = self.policy.timeout_seconds
@@ -512,7 +666,9 @@ class SweepRunner:
             (key, spec) for key, spec in batch.items() if key not in suspects
         ]
         if pooled:
-            if self.workers == 1:
+            if self.batch and len(pooled) > 1:
+                self._run_grouped(pooled, timeout, complete, requeue)
+            elif self.workers == 1:
                 # Explicit single-worker mode runs inline (no isolation
                 # from worker death, by construction).
                 for key, spec in pooled:
@@ -524,44 +680,200 @@ class SweepRunner:
                 key, spec = pooled[0]
                 complete(key, self._run_isolated(spec, timeout))
             else:
-                self._run_pooled(pooled, timeout, complete)
+                self._run_pooled(pooled, timeout, complete, requeue)
         for key in suspects:
             complete(key, self._run_isolated(batch[key], timeout))
+
+    def _run_grouped(
+        self,
+        items: List[Tuple[str, RunSpec]],
+        timeout: Optional[float],
+        complete: Callable[[str, _Outcome], None],
+        requeue: Callable[[str], None],
+    ) -> None:
+        """Batched execution: one worker task per same-graph cell group."""
+        import multiprocessing
+
+        from repro.runner.batch import (
+            attempt_group,
+            group_cells,
+            recover_group,
+        )
+
+        groups = group_cells(items, self.workers)
+        cache_root = self.cache.root if self.cache is not None else None
+        trace_event(
+            "sweep.batch_groups", cells=len(items), groups=len(groups)
+        )
+        if self.workers == 1:
+            for group in groups:
+                for key, outcome in attempt_group(group, timeout, cache_root):
+                    complete(key, outcome)
+            return
+        context = multiprocessing.get_context("fork")
+        pool_size = min(self.workers, len(groups))
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(attempt_group, group, timeout, cache_root): index
+                for index, group in enumerate(groups)
+            }
+            for future in as_completed(futures):
+                group = groups[futures[future]]
+                try:
+                    outcomes = future.result()
+                except BrokenProcessPool:
+                    # The group's worker died mid-batch.  Cells already
+                    # flushed to the cache are recovered as completions;
+                    # the first unflushed cell (execution is in order)
+                    # is the suspect; the rest re-queue for free.
+                    for key, action in recover_group(group, self.cache):
+                        if action == "requeue":
+                            requeue(key)
+                        else:
+                            complete(key, action)
+                    continue
+                except Exception as exc:
+                    outcomes = [
+                        (
+                            key,
+                            _Outcome(
+                                ok=False,
+                                error_type=type(exc).__name__,
+                                message=str(exc),
+                                transient=is_transient(exc),
+                            ),
+                        )
+                        for key, _ in group
+                    ]
+                for key, outcome in outcomes:
+                    complete(key, outcome)
 
     def _run_pooled(
         self,
         items: List[Tuple[str, RunSpec]],
         timeout: Optional[float],
         complete: Callable[[str, _Outcome], None],
+        requeue: Callable[[str], None],
     ) -> None:
         # Fork keeps parent-built graphs shared copy-on-write and is the
         # only start method that needs no spawn-safe __main__ guard in
         # callers (pytest, notebooks).
         import multiprocessing
+        import shutil
+        import tempfile
 
         context = multiprocessing.get_context("fork")
         pool_size = min(self.workers, len(items))
-        with ProcessPoolExecutor(
-            max_workers=pool_size, mp_context=context
-        ) as pool:
-            futures = {
-                pool.submit(_attempt, spec, timeout): key
-                for key, spec in items
-            }
-            for future in as_completed(futures):
-                key = futures[future]
+        trace_dir = tempfile.mkdtemp(prefix="repro-sweep-trace-")
+        broken: List[str] = []
+        procs: Dict[int, object] = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=context
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _traced_attempt, spec, timeout, trace_dir, key
+                    ): key
+                    for key, spec in items
+                }
+                # Snapshot worker Process objects while the pool is
+                # healthy: after a collapse their exit codes identify
+                # the process that actually died (stdlib-private but
+                # stable; forensics degrade gracefully without it).
                 try:
-                    outcome = future.result()
-                except BrokenProcessPool:
-                    outcome = _WORKER_DIED
-                except Exception as exc:  # e.g. an unpicklable result
-                    outcome = _Outcome(
-                        ok=False,
-                        error_type=type(exc).__name__,
-                        message=str(exc),
-                        transient=is_transient(exc),
-                    )
-                complete(key, outcome)
+                    procs = dict(getattr(pool, "_processes", None) or {})
+                except Exception:
+                    procs = {}
+                for future in as_completed(futures):
+                    key = futures[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken.append(key)
+                        continue
+                    except Exception as exc:  # e.g. an unpicklable result
+                        outcome = _Outcome(
+                            ok=False,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            transient=is_transient(exc),
+                        )
+                    complete(key, outcome)
+            if broken:
+                self._settle_collapse(
+                    broken, trace_dir, procs, complete, requeue
+                )
+        finally:
+            shutil.rmtree(trace_dir, ignore_errors=True)
+
+    @staticmethod
+    def _settle_collapse(
+        broken_keys: List[str],
+        trace_dir: str,
+        procs: Dict[int, object],
+        complete: Callable[[str, _Outcome], None],
+        requeue: Callable[[str], None],
+    ) -> None:
+        """Charge only the collapse's true victim(s); free the innocents.
+
+        One worker death breaks the whole shared pool, so every
+        unfinished future raises ``BrokenProcessPool``.  The
+        :func:`_traced_attempt` breadcrumbs separate three populations:
+
+        - never started (no ``.start`` marker): queued behind the
+          collapse -- innocent, re-pooled for free;
+        - started and finished (``.done`` marker): the result was lost
+          in the collapse but the process did not die -- innocent;
+        - started, never finished: *candidate* victims.  A candidate is
+          charged as ``worker_died`` only if its recorded worker pid
+          exited abnormally (the pool's cleanup SIGTERMs the surviving
+          workers, so exit codes ``0`` and ``-SIGTERM`` mark
+          bystanders).  If no candidate's exit code is conclusive the
+          whole candidate set is charged -- the conservative pre-fix
+          behavior, never worse.
+        """
+        started_pid: Dict[str, int] = {}
+        done: set = set()
+        for key in broken_keys:
+            start_path = os.path.join(trace_dir, key + ".start")
+            if os.path.exists(start_path):
+                try:
+                    with open(start_path, encoding="utf-8") as f:
+                        started_pid[key] = int(f.read().strip() or "0")
+                except (OSError, ValueError):
+                    started_pid[key] = 0
+            if os.path.exists(os.path.join(trace_dir, key + ".done")):
+                done.add(key)
+        candidates = [
+            key for key in broken_keys
+            if key in started_pid and key not in done
+        ]
+        abnormal_pids = set()
+        for pid, proc in procs.items():
+            exitcode = getattr(proc, "exitcode", None)
+            if exitcode is None:
+                continue
+            if exitcode != 0 and exitcode != -int(signal.SIGTERM):
+                abnormal_pids.add(pid)
+        victims = {
+            key for key in candidates if started_pid.get(key) in abnormal_pids
+        }
+        if not victims:
+            victims = set(candidates)
+        trace_event(
+            "sweep.pool_collapse",
+            broken=len(broken_keys),
+            victims=len(victims),
+            requeued=len(broken_keys) - len(victims),
+        )
+        for key in broken_keys:
+            if key in victims:
+                complete(key, _WORKER_DIED)
+            else:
+                requeue(key)
 
     def _run_isolated(
         self, spec: RunSpec, timeout: Optional[float]

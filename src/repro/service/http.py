@@ -521,6 +521,7 @@ class ReproService:
         quota_rate: Optional[float] = None,
         quota_burst: Optional[float] = None,
         reap_interval: Optional[float] = None,
+        batch_limit: int = 1,
     ) -> None:
         from repro.service.fleet import FleetDispatcher, TenantQuotas
         from repro.service.registry import WorkerRegistry
@@ -554,6 +555,7 @@ class ReproService:
             fleet=self.fleet,
             quotas=quotas,
             reap_interval=reap_interval,
+            batch_limit=batch_limit,
         )
         self.http = ServiceHTTP(
             self.scheduler, self.store, self.runner.cache,

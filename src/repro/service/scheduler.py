@@ -126,6 +126,14 @@ class JobScheduler:
             applied per client at admission.
         reap_interval: seconds between worker-lease expiry sweeps
             (default: lease/4, floor 50 ms).
+        batch_limit: same-graph batch lane width.  When > 1, a worker
+            that picks a job also claims up to ``batch_limit - 1``
+            queued jobs sharing the lead job's (graph, seed) and drives
+            them through **one** ``runner.run`` call, amortizing graph
+            resolution and (with a batching runner) per-cell dispatch.
+            Jobs still settle individually.  1 disables the lane.  The
+            lane only engages for locally executed jobs; fleet
+            dispatch already shards by spec key.
     """
 
     def __init__(
@@ -137,11 +145,13 @@ class JobScheduler:
         fleet=None,
         quotas=None,
         reap_interval: Optional[float] = None,
+        batch_limit: int = 1,
     ) -> None:
         self.store = store
         self.runner = runner if runner is not None else SweepRunner(workers=1)
         self.max_queue_depth = max(1, int(max_queue_depth))
         self.job_workers = max(1, int(job_workers))
+        self.batch_limit = max(1, int(batch_limit))
         self.fleet = fleet
         self.quotas = quotas
         self.reap_interval = reap_interval
@@ -416,6 +426,30 @@ class JobScheduler:
             self._queued.remove(best.id)
         return best
 
+    def _pick_batchmates(self, lead: Job) -> List[Job]:
+        """Claim queued jobs sharing the lead job's graph, in queue order.
+
+        The lane key is (graph specifier, seed): those fields alone
+        determine which store artifact the lowered spec resolves --
+        workload variants (weighted/symmetrized) may still split the
+        batch into sub-groups, which the batching runner handles.
+        Claimed jobs leave ``_queued`` here, atomically with the lead
+        pick (both run under the scheduler condition lock).
+        """
+        mates: List[Job] = []
+        lane = (lead.spec.graph, lead.spec.seed)
+        for job_id in list(self._queued):
+            if len(mates) >= self.batch_limit - 1:
+                break
+            try:
+                job = self.store.get(job_id)
+            except Exception:
+                continue
+            if (job.spec.graph, job.spec.seed) == lane:
+                self._queued.remove(job_id)
+                mates.append(job)
+        return mates
+
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
@@ -431,7 +465,15 @@ class JobScheduler:
                 job = self._pick_next()
                 if job is None:
                     continue
-            await self._execute(job)
+                mates: List[Job] = []
+                if self.batch_limit > 1 and not (
+                    self.fleet is not None and self.fleet.has_workers()
+                ):
+                    mates = self._pick_batchmates(job)
+            if mates:
+                await self._execute_batch([job] + mates)
+            else:
+                await self._execute(job)
             if self.draining:
                 return
 
@@ -486,6 +528,10 @@ class JobScheduler:
         finally:
             self._running.discard(job.id)
 
+        self._settle(job, outcome)
+
+    def _settle(self, job: Job, outcome) -> None:
+        """Record one finished job's terminal state and notify pollers."""
         if isinstance(outcome, RunFailure):
             job.transition(FAILED)
             job.error_kind = outcome.kind
@@ -512,6 +558,74 @@ class JobScheduler:
             self._completions.append(time.monotonic())
             self._post_event(job.id, {"type": "state", "state": DONE})
         trace_event("service.settled", job=job.id, state=job.state)
+
+    async def _execute_batch(self, jobs: List[Job]) -> None:
+        """Drive a same-graph batch through one ``runner.run`` call.
+
+        Every job transitions, counts, and settles exactly as it would
+        through :meth:`_execute`; only the executor trip is shared.
+        The RUNNING transitions happen synchronously (before the first
+        ``await``), so cancellation can never race a claimed batchmate.
+        """
+        loop = asyncio.get_running_loop()
+        for job in jobs:
+            job.transition(RUNNING)
+            job.attempts += 1
+            self.store.put(job)
+            self._running.add(job.id)
+            self._fairness[job.client] = (
+                self._fairness.get(job.client, 0) + 1
+            )
+            FAULT_COUNTERS.increment("service.dispatched")
+            self._post_event(job.id, {"type": "state", "state": RUNNING})
+        FAULT_COUNTERS.increment("service.batch_dispatched")
+        trace_event(
+            "service.batch_dispatch",
+            jobs=[job.id for job in jobs],
+            graph=jobs[0].spec.graph,
+        )
+
+        def post_all(payload: Dict[str, Any]) -> None:
+            for job in jobs:
+                self._post_event(job.id, payload)
+
+        monitor = _JobMonitor(post_all, loop)
+        try:
+            outcomes = await loop.run_in_executor(
+                None, self._run_blocking_batch, jobs, monitor
+            )
+        except Exception as exc:  # defensive: the runner returns failures
+            outcomes = [
+                RunFailure(
+                    key=job.key or "",
+                    spec=None,
+                    kind="error",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+                for job in jobs
+            ]
+        finally:
+            for job in jobs:
+                self._running.discard(job.id)
+        for job, outcome in zip(jobs, outcomes):
+            self._settle(job, outcome)
+
+    def _run_blocking_batch(self, jobs: List[Job], monitor: SweepMonitor):
+        """Executor-thread half of the batch lane: one sweep, N jobs."""
+        delay_ms = os.environ.get("REPRO_SERVICE_JOB_DELAY_MS")
+        if delay_ms:
+            time.sleep(max(0.0, float(delay_ms)) / 1000.0)
+        run_specs = []
+        for job in jobs:
+            run_spec = job.spec.to_run_spec()
+            if job.key is None:
+                job.key = spec_key(run_spec)
+            run_specs.append(run_spec)
+        results, stats = self.runner.run(
+            run_specs, on_failure="return", monitor=monitor
+        )
+        return results
 
     async def _requeue_lost(self, job: Job, exc: WorkerLostError) -> bool:
         """Put a worker-lost job back in the queue (bounded per job).
@@ -644,6 +758,7 @@ class JobScheduler:
             "max_queue_depth": self.max_queue_depth,
             "running": len(self._running),
             "job_workers": self.job_workers,
+            "batch_limit": self.batch_limit,
             "jobs": counts,
             "fairness": self.fairness_snapshot(),
         }

@@ -1,0 +1,176 @@
+"""The optional numba-compiled engine behind ``engine="jit"``.
+
+Two layers, so the suite is meaningful on every host:
+
+- **Fallback contract** (runs everywhere): without numba the jit engine
+  resolves to the vectorized :class:`NovaEngine` and ``nova-jit`` specs
+  execute bit-identically to ``nova`` ones.  With numba present the
+  same tests become a true compiled-vs-vectorized differential.
+- **Compiled kernels** (skip without numba): the single-pass cache walk
+  and edge-expansion kernels against their vectorized references on
+  adversarial streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import NovaEngine
+from repro.core.engine_numba import (
+    NUMBA_AVAILABLE,
+    JitCacheArray,
+    _jit_expand_edges,
+    jit_backend,
+    resolve_jit_engine,
+)
+from repro.core.system import NovaSystem
+from repro.errors import ConfigError
+from repro.graph.generators import with_uniform_weights
+from repro.runner.cache import spec_key
+from repro.runner.spec import RunSpec
+from repro.runner.sweep import execute_spec
+
+needs_numba = pytest.mark.skipif(
+    not NUMBA_AVAILABLE, reason="numba is not installed"
+)
+
+
+def assert_identical(a, b):
+    assert b.elapsed_seconds == a.elapsed_seconds
+    assert b.quanta == a.quanta
+    assert np.array_equal(b.result, a.result)
+    assert b.messages_sent == a.messages_sent
+    assert b.messages_processed == a.messages_processed
+    assert b.useful_messages == a.useful_messages
+    assert b.redundant_messages == a.redundant_messages
+    assert b.coalesced_messages == a.coalesced_messages
+    assert b.activations == a.activations
+    assert b.edges_traversed == a.edges_traversed
+    assert b.breakdown == a.breakdown
+    assert b.traffic == a.traffic
+    assert b.utilization == a.utilization
+
+
+# ----------------------------------------------------------------------
+# Resolution and fallback
+# ----------------------------------------------------------------------
+
+
+def test_jit_engine_resolution_matches_numba_presence():
+    cls = resolve_jit_engine()
+    if NUMBA_AVAILABLE:
+        assert cls is not NovaEngine
+        assert issubclass(cls, NovaEngine)
+        assert jit_backend() == "numba"
+    else:
+        assert cls is NovaEngine
+        assert jit_backend() == "vectorized-fallback"
+
+
+def test_system_accepts_jit_engine(two_gpn_config, rmat_graph):
+    system = NovaSystem(two_gpn_config, rmat_graph, engine="jit")
+    assert system._engine_cls is resolve_jit_engine()
+    with pytest.raises(ConfigError, match="unknown engine"):
+        NovaSystem(two_gpn_config, rmat_graph, engine="turbo")
+
+
+# ----------------------------------------------------------------------
+# Full-run differential: jit vs vectorized (fallback makes it a no-op
+# identity everywhere; with numba it is the real compiled differential)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", ("bfs", "pr"))
+def test_jit_system_matches_vectorized(two_gpn_config, rmat_graph, workload):
+    source = int(np.argmax(rmat_graph.out_degrees()))
+    runs = []
+    for engine in ("vectorized", "jit"):
+        system = NovaSystem(
+            two_gpn_config, rmat_graph, placement="random", engine=engine
+        )
+        runs.append(system.run(workload, source=source))
+    assert_identical(runs[0], runs[1])
+
+
+def test_jit_system_matches_vectorized_weighted(two_gpn_config, rmat_graph):
+    graph = with_uniform_weights(rmat_graph, seed=3)
+    source = int(np.argmax(graph.out_degrees()))
+    runs = []
+    for engine in ("vectorized", "jit"):
+        system = NovaSystem(
+            two_gpn_config, graph, placement="random", engine=engine
+        )
+        runs.append(system.run("sssp", source=source))
+    assert_identical(runs[0], runs[1])
+
+
+def test_nova_jit_spec_executes_and_keys_separately(
+    two_gpn_config, rmat_graph
+):
+    spec = RunSpec(
+        "bfs", rmat_graph, config=two_gpn_config, source=0,
+        system="nova-jit",
+    )
+    baseline = RunSpec(
+        "bfs", rmat_graph, config=two_gpn_config, source=0, system="nova"
+    )
+    result = execute_spec(spec)
+    assert_identical(execute_spec(baseline), result)
+    # Different system name, different cache entry: a host with numba
+    # and a host without must never share nova-jit results with nova.
+    assert spec_key(spec) != spec_key(baseline)
+
+
+# ----------------------------------------------------------------------
+# Compiled kernels vs vectorized references (numba hosts only)
+# ----------------------------------------------------------------------
+
+
+@needs_numba
+def test_jit_cache_array_matches_vectorized_reference():
+    from repro.memory.cache import CacheArray
+
+    rng = np.random.default_rng(7)
+    ref = CacheArray(4, 1024, 32)
+    jit = JitCacheArray(4, 1024, 32)
+    for _ in range(8):
+        n = int(rng.integers(1, 400))
+        caches = rng.integers(0, 4, size=n)
+        # Small block range forces conflict misses and write-backs.
+        blocks = rng.integers(0, 96, size=n)
+        writes = rng.random(n) < 0.4
+        a = ref.access(caches, blocks, writes)
+        b = jit.access(caches, blocks, writes)
+        assert (a.hits, a.misses, a.writebacks) == (
+            b.hits, b.misses, b.writebacks
+        )
+        assert np.array_equal(a.misses_per_cache, b.misses_per_cache)
+        assert np.array_equal(
+            a.writebacks_per_cache, b.writebacks_per_cache
+        )
+        assert np.array_equal(ref._tags, jit._tags)
+        assert np.array_equal(ref._dirty, jit._dirty)
+    assert ref.lifetime_hits == jit.lifetime_hits
+    assert ref.lifetime_misses == jit.lifetime_misses
+    assert ref.lifetime_writebacks == jit.lifetime_writebacks
+
+
+@needs_numba
+def test_jit_expand_edges_matches_reference(rmat_graph):
+    from repro.workloads.base import expand_edges
+
+    graph = with_uniform_weights(rmat_graph, seed=5)
+    rng = np.random.default_rng(11)
+    for size in (1, 17, 256):
+        vertices = rng.integers(0, graph.num_vertices, size=size)
+        ref_owner, ref_dests, ref_w = expand_edges(graph, vertices)
+        jit_owner, jit_dests, jit_w = _jit_expand_edges(graph, vertices)
+        assert np.array_equal(ref_owner, jit_owner)
+        assert np.array_equal(ref_dests, jit_dests)
+        assert np.array_equal(ref_w, jit_w)
+    # Empty expansion keeps the reference's empty-array contract.
+    ref = expand_edges(graph, np.empty(0, dtype=np.int64))
+    jit = _jit_expand_edges(graph, np.empty(0, dtype=np.int64))
+    for r, j in zip(ref, jit):
+        assert np.array_equal(r, j)

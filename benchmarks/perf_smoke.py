@@ -35,6 +35,13 @@ full run additionally measures the cold-vs-warm sweep wall clock and a
 map-vs-rebuild microbench, gates mapping on ``MIN_MAP_SPEEDUP``, and
 writes ``benchmarks/results/BENCH_graph_store.json``.
 
+Typed metrics registry: the histogram/gauge registry behind ``/metrics``
+must place observations correctly, render a valid Prometheus exposition
+(deterministic, part of ``--check-only``); the full run additionally
+interleaves bare vs seam-instrumented NovaSystem rounds and gates the
+per-job MetricsRegistry cost on ``OBS_MAX_OVERHEAD``, merged into
+``BENCH_obs.json`` under ``metrics_registry``.
+
 Batched sweep execution: a batched 2-worker sweep must be bit-identical
 to the unbatched sweep with every cell flushed worker-side
 (deterministic, part of ``--check-only``); the full run additionally
@@ -581,6 +588,150 @@ def check_batch(timed: bool = True) -> dict:
     return report
 
 
+def check_metrics_registry(timed: bool = True) -> dict:
+    """Exercise the typed MetricsRegistry end to end and gate its cost.
+
+    Functional half (always, deterministic): a fresh registry must place
+    observations into the right log-scale buckets with cumulative
+    monotone counts and ``+Inf == count``, interpolate quantiles inside
+    the observed range, survive ``reset()`` with its declared histogram
+    families intact, and render a Prometheus exposition that passes the
+    strict validator with at least five histogram families.
+
+    Timing half (skipped under ``--check-only``): interleaved rounds of
+    the same NovaSystem run bare vs wrapped in the per-job service seam
+    bundle (submit counter, queue gauges, queue-wait observation, and a
+    ``time_histogram`` around the run -- exactly what the scheduler
+    records per job).  The median per-round overhead must stay under
+    ``OBS_MAX_OVERHEAD``; like the other gates, a failing measurement is
+    re-taken up to ``GATE_ATTEMPTS`` times and the best attempt kept.
+    """
+    from repro.obs.counters import DEFAULT_HISTOGRAMS, MetricsRegistry
+    from repro.obs.prom import render_prometheus, validate_exposition
+
+    def fresh_registry() -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for name in DEFAULT_HISTOGRAMS:
+            registry.declare_histogram(name)
+        return registry
+
+    registry = fresh_registry()
+    samples = (0.0002, 0.003, 0.003, 0.04, 2.5)
+    for value in samples:
+        registry.observe("service.run_seconds", value)
+    registry.increment("service.completed", 5)
+    registry.set_gauge("service.queue_depth", 3.0)
+    snap = registry.histograms()["service.run_seconds"]
+    cumulative = [count for _, count in snap["buckets"]]
+    placement_ok = (
+        snap["count"] == len(samples)
+        and abs(snap["sum"] - sum(samples)) < 1e-9
+        and snap["buckets"][-1] == ["+Inf", len(samples)]
+        and all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    )
+    p50 = registry.quantile("service.run_seconds", 0.5)
+    quantile_ok = p50 is not None and 0.0002 <= p50 <= 2.5
+    text = render_prometheus(
+        registry.snapshot(), registry.gauges(), registry.histograms()
+    )
+    errors, families = validate_exposition(text)
+    histogram_families = sum(
+        1 for kind in families.values() if kind == "histogram"
+    )
+    exposition_ok = not errors and histogram_families >= 5
+    registry.reset()
+    reset_ok = (
+        set(DEFAULT_HISTOGRAMS) <= set(registry.histograms())
+        and registry.histograms()["service.run_seconds"]["count"] == 0
+        and registry.get("service.completed") == 0
+    )
+    report = {
+        "placement_ok": placement_ok,
+        "quantile_ok": quantile_ok,
+        "exposition_ok": exposition_ok,
+        "exposition_errors": errors[:5],
+        "histogram_families": histogram_families,
+        "reset_preserves_families": reset_ok,
+        "ok": placement_ok and quantile_ok and exposition_ok and reset_ok,
+    }
+    print(
+        f"metrics registry: placement={placement_ok} "
+        f"quantile={quantile_ok} exposition={exposition_ok} "
+        f"({histogram_families} histogram families) reset={reset_ok}  "
+        f"[{'ok' if report['ok'] else 'FAIL'}]"
+    )
+    if not timed:
+        return report
+
+    # Per-round work must dwarf timer jitter: a sub-millisecond run
+    # turns scheduler noise into percent-scale phantom overhead, so the
+    # harness uses a graph big enough for ~10ms rounds.
+    graph = rmat(12, 8, seed=5)
+    config = scaled_config(num_gpns=2, scale=1.0 / 1024.0)
+
+    def run_bare() -> float:
+        system = NovaSystem(config, graph, placement="random")
+        start = time.perf_counter()
+        system.run("bfs", source=0)
+        return time.perf_counter() - start
+
+    def run_metered(reg: MetricsRegistry) -> float:
+        system = NovaSystem(config, graph, placement="random")
+        start = time.perf_counter()
+        reg.increment("service.submitted")
+        reg.set_gauge("service.queue_depth", 1.0)
+        reg.observe(
+            "service.queue_wait_seconds", time.perf_counter() - start
+        )
+        reg.set_gauge("service.running", 1.0)
+        with reg.time_histogram("service.run_seconds"):
+            system.run("bfs", source=0)
+        reg.increment("service.completed")
+        reg.set_gauge("service.queue_depth", 0.0)
+        reg.set_gauge("service.running", 0.0)
+        return time.perf_counter() - start
+
+    def measure():
+        reg = fresh_registry()
+        bare, metered = [], []
+        for trial in range(MAX_TRIALS):
+            bare.append(run_bare())
+            metered.append(run_metered(reg))
+            if trial + 1 >= TRIALS and sum(bare) >= MIN_MEASURE_SECONDS:
+                break
+        ratio = statistics.median(
+            m / b for b, m in zip(bare, metered)
+        )
+        return bare, metered, ratio - 1.0
+
+    bare, metered, overhead = measure()
+    attempts = 1
+    while overhead > OBS_MAX_OVERHEAD and attempts < GATE_ATTEMPTS:
+        retry_bare, retry_metered, retry = measure()
+        if retry < overhead:
+            bare, metered, overhead = retry_bare, retry_metered, retry
+        attempts += 1
+    gate_ok = overhead <= OBS_MAX_OVERHEAD
+    report.update(
+        rounds=len(bare),
+        attempts=attempts,
+        bare_wall_seconds=statistics.median(bare),
+        metered_wall_seconds=statistics.median(metered),
+        max_overhead=OBS_MAX_OVERHEAD,
+        metrics={"overhead": overhead},
+    )
+    if not gate_ok:
+        report["ok"] = False
+    print(
+        f"metrics registry: {len(bare)} interleaved rounds  bare "
+        f"{report['bare_wall_seconds'] * 1e3:.1f}ms  metered "
+        f"{report['metered_wall_seconds'] * 1e3:.1f}ms  overhead "
+        f"{overhead * 100:+.2f}% (gate {OBS_MAX_OVERHEAD * 100:.0f}%, "
+        f"{attempts} attempt(s))  [{'ok' if gate_ok else 'FAIL'}]"
+    )
+    return report
+
+
 def check_bench_history(against: str, metrics: dict, out_dir: str) -> bool:
     """Gate ``metrics`` against the rolling-median history at ``against``.
 
@@ -630,6 +781,8 @@ def run_functional_checks() -> bool:
     if not check_graph_store(timed=False)["ok"]:
         ok = False
     if not check_batch(timed=False)["ok"]:
+        ok = False
+    if not check_metrics_registry(timed=False)["ok"]:
         ok = False
     return ok
 
@@ -725,6 +878,11 @@ def main(argv=None) -> int:
     if not obs_report["ok"]:
         failed = True
 
+    registry_report = check_metrics_registry(timed=True)
+    obs_report["metrics_registry"] = registry_report
+    if not registry_report["ok"]:
+        failed = True
+
     store_report = check_graph_store(timed=True)
     if not store_report["ok"]:
         failed = True
@@ -759,6 +917,7 @@ def main(argv=None) -> int:
             obs_report.get("cases", {}),
             store_report.get("metrics", {}),
             batch_report.get("metrics", {}),
+            registry_report.get("metrics", {}),
         )
         if not check_bench_history(against, metrics, out_dir):
             failed = True

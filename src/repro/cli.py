@@ -40,6 +40,7 @@ Graph specifiers (for ``run --graph`` and ``generate --kind``)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -927,6 +928,58 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.stitch import (
+        load_trace_records,
+        render_tree,
+        resolve_trace_id,
+        stitch,
+    )
+
+    files = list(args.files)
+    if not files:
+        target = os.environ.get("REPRO_TRACE", "").strip()
+        if target and target.lower() not in ("1", "true", "stderr"):
+            files = [target]
+    if not files:
+        print(
+            "error: no trace files -- pass paths or set REPRO_TRACE "
+            "to a file path",
+            file=sys.stderr,
+        )
+        return 1
+    missing = [path for path in files if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such trace file: {missing[0]}", file=sys.stderr)
+        return 1
+    records = load_trace_records(files)
+    trace_id = resolve_trace_id(records, args.id)
+    if trace_id is None:
+        print(
+            f"error: no trace matching {args.id!r} among "
+            f"{len(records)} records",
+            file=sys.stderr,
+        )
+        return 1
+    roots, orphans = stitch(records, trace_id)
+    print(render_tree(roots, orphans, trace_id))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.top import ServiceTop
+
+    top = ServiceTop(
+        ServiceClient(args.url),
+        stream=sys.stdout,
+        interval_seconds=args.interval,
+    )
+    iterations = 1 if args.once else args.iterations
+    top.run(iterations=iterations)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1213,6 +1266,32 @@ def make_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--json", default=None,
                        help="write the payload here instead of stdout")
     fetch.set_defaults(func=_cmd_fetch)
+
+    trace = sub.add_parser(
+        "trace",
+        help="stitch REPRO_TRACE JSONL files into one trace's span tree",
+    )
+    trace.add_argument(
+        "id",
+        help="trace id (or unique prefix), traceparent, or job id",
+    )
+    trace.add_argument(
+        "files", nargs="*", default=[],
+        help="trace JSONL files (default: the REPRO_TRACE file)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running service"
+    )
+    add_client_args(top)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after this many frames (default: forever)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.set_defaults(func=_cmd_top)
 
     graph = sub.add_parser(
         "graph",

@@ -385,6 +385,9 @@ class GraphStore:
             FAULT_COUNTERS.increment(
                 "graph_store.build_ms", int(build_seconds * 1000)
             )
+            FAULT_COUNTERS.observe(
+                "graph_store.build_seconds", build_seconds
+            )
             trace_event(
                 "graph_store.build",
                 digest=digest,

@@ -17,12 +17,31 @@ sweep's results into grouped bottleneck/outlier reports (the ``repro
 report`` CLI subcommand) and :mod:`repro.obs.bench_history` tracks the
 benchmark trajectory across commits with rolling-median regression
 verdicts (``benchmarks/perf_smoke.py --against``).
+
+The distributed layer: :mod:`repro.obs.trace_context` propagates
+W3C-traceparent-shaped trace/span ids across threads, forks, HTTP
+hops, and subprocess environments; :mod:`repro.obs.stitch` joins the
+resulting JSONL spans back into one tree (``repro trace``);
+:class:`~repro.obs.counters.MetricsRegistry` adds gauges and
+log-bucketed histograms next to the counters; and
+:mod:`repro.obs.prom` renders/validates the Prometheus text
+exposition the service serves on ``GET /metrics?format=prom``.
 """
 
 from repro.obs.bench_history import BenchHistory, RegressionVerdict
 from repro.obs.config import ObsConfig, make_recorder
-from repro.obs.counters import FAULT_COUNTERS, CounterRegistry, render_counts
+from repro.obs.counters import (
+    DEFAULT_BUCKETS,
+    DEFAULT_HISTOGRAMS,
+    FAULT_COUNTERS,
+    CounterRegistry,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    render_counts,
+)
 from repro.obs.profile import BottleneckReport
+from repro.obs.prom import render_prometheus, validate_exposition
 from repro.obs.recorder import (
     MetricsRecorder,
     NullRecorder,
@@ -31,6 +50,7 @@ from repro.obs.recorder import (
     TimelineRecorder,
 )
 from repro.obs.report import ReportEntry, SweepReport, entry_from_result
+from repro.obs.trace_context import TraceContext
 from repro.obs.tracing import trace_enabled, trace_event, trace_span
 
 __all__ = [
@@ -39,8 +59,12 @@ __all__ = [
     "BenchHistory",
     "BottleneckReport",
     "CounterRegistry",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_HISTOGRAMS",
     "FAULT_COUNTERS",
+    "Histogram",
     "MetricsRecorder",
+    "MetricsRegistry",
     "NullRecorder",
     "PhaseProfiler",
     "QuantumObservation",
@@ -48,9 +72,13 @@ __all__ = [
     "ReportEntry",
     "SweepReport",
     "TimelineRecorder",
+    "TraceContext",
     "entry_from_result",
+    "histogram_quantile",
     "render_counts",
+    "render_prometheus",
     "trace_enabled",
     "trace_event",
     "trace_span",
+    "validate_exposition",
 ]

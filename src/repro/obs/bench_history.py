@@ -258,6 +258,7 @@ def metrics_from_reports(
     obs_cases: Optional[Dict[str, Dict]] = None,
     store_metrics: Optional[Dict[str, float]] = None,
     batch_metrics: Optional[Dict[str, float]] = None,
+    registry_metrics: Optional[Dict[str, float]] = None,
 ) -> Dict[str, float]:
     """Flatten perf_smoke's per-case reports into named history metrics."""
     out: Dict[str, float] = {}
@@ -279,6 +280,10 @@ def metrics_from_reports(
     for name, value in (batch_metrics or {}).items():
         # Batched-vs-unbatched sweep speedups from BENCH_batch.json.
         out[f"batch.{name}"] = float(value)
+    for name, value in (registry_metrics or {}).items():
+        # MetricsRegistry seam cost from BENCH_obs.json; "overhead" in
+        # the name makes these lower-is-better with an absolute gate.
+        out[f"obs.metrics_registry.{name}"] = float(value)
     return out
 
 
@@ -297,4 +302,5 @@ def metrics_from_bench_dir(results_dir: str) -> Dict[str, float]:
         _load("BENCH_obs.json", "cases"),
         _load("BENCH_graph_store.json", "metrics"),
         _load("BENCH_batch.json", "metrics"),
+        _load("BENCH_obs.json", "metrics_registry").get("metrics", {}),
     )

@@ -1,0 +1,237 @@
+"""Prometheus text exposition for the :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns a registry snapshot (counters, gauges,
+histogram snapshots) into Prometheus text format 0.0.4: dotted repro
+names are sanitized to ``repro_``-prefixed underscore names, counters
+gain the conventional ``_total`` suffix, and histograms expand into
+the ``_bucket{le="..."}`` / ``_sum`` / ``_count`` triple with a
+``+Inf`` bucket equal to the count.
+
+:func:`validate_exposition` is the strict line-format check the CI
+observability smoke step and the unit tests share: every line must be
+a well-formed comment or sample, every sample's family must have a
+preceding ``# TYPE``, and every histogram family must close the
+bucket contract (cumulative monotone, ``+Inf`` == ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["prom_name", "render_prometheus", "validate_exposition"]
+
+PREFIX = "repro_"
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r" (?P<kind>counter|gauge|histogram|summary|untyped)$"
+)
+_HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+
+
+def prom_name(name: str) -> str:
+    """``service.queue_wait_seconds`` -> ``repro_service_queue_wait_seconds``."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    out = PREFIX + sanitized
+    if not _NAME_RE.match(out):  # e.g. fully non-alnum input
+        raise ValueError(f"cannot sanitize metric name: {name!r}")
+    return out
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: object) -> str:
+    if bound == "+Inf":
+        return "+Inf"
+    return _format_value(float(bound))
+
+
+def render_prometheus(
+    counters: Mapping[str, int],
+    gauges: Mapping[str, float],
+    histograms: Mapping[str, Mapping[str, object]],
+) -> str:
+    """Render a registry snapshot as Prometheus text format 0.0.4."""
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = prom_name(name) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        metric = prom_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    for name in sorted(histograms):
+        snap = histograms[name]
+        metric = prom_name(name)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in snap.get("buckets", []):  # type: ignore[union-attr]
+            lines.append(
+                f'{metric}_bucket{{le="{_format_le(bound)}"}} '
+                f"{_format_value(int(cumulative))}"
+            )
+        lines.append(f"{metric}_sum {_format_value(float(snap.get('sum', 0.0)))}")
+        lines.append(f"{metric}_count {_format_value(int(snap.get('count', 0)))}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: Optional[str]) -> Optional[Dict[str, str]]:
+    if raw is None:
+        return {}
+    if raw == "":
+        return None  # "{}" with nothing inside is malformed for us
+    labels: Dict[str, str] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not _LABEL_RE.match(part):
+            return None
+        key, _, value = part.partition("=")
+        labels[key] = value[1:-1]
+    return labels
+
+
+def _parse_value(raw: str) -> Optional[float]:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def validate_exposition(text: str) -> Tuple[List[str], Dict[str, str]]:
+    """Strictly check Prometheus text-format output.
+
+    Returns ``(errors, families)`` where ``families`` maps each
+    ``# TYPE``-declared metric family to its kind.  An empty error
+    list means the exposition parses cleanly *and* every histogram
+    family satisfies the bucket contract.
+    """
+    errors: List[str] = []
+    families: Dict[str, str] = {}
+    # family -> list of (labels, value) samples seen.
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+
+    def note(lineno: int, message: str) -> None:
+        errors.append(f"line {lineno}: {message}")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            continue
+        if line != line.strip() or "\t" in line:
+            note(lineno, f"stray whitespace: {line!r}")
+            continue
+        if line.startswith("#"):
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                name = type_match.group("name")
+                if name in families:
+                    note(lineno, f"duplicate TYPE for {name}")
+                families[name] = type_match.group("kind")
+                continue
+            if _HELP_RE.match(line):
+                continue
+            note(lineno, f"malformed comment: {line!r}")
+            continue
+        sample = _SAMPLE_RE.match(line)
+        if not sample:
+            note(lineno, f"malformed sample: {line!r}")
+            continue
+        name = sample.group("name")
+        labels = _parse_labels(sample.group("labels"))
+        if labels is None:
+            note(lineno, f"malformed labels: {line!r}")
+            continue
+        value = _parse_value(sample.group("value"))
+        if value is None:
+            note(lineno, f"malformed value: {line!r}")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                break
+        declared = families.get(name) or families.get(family)
+        if declared is None:
+            note(lineno, f"sample before TYPE declaration: {name}")
+            continue
+        key = family if declared == "histogram" else name
+        samples.setdefault(key, []).append((labels, value))
+
+    for family, kind in families.items():
+        if kind != "histogram":
+            continue
+        rows = samples.get(family, [])
+        buckets = [
+            (labels["le"], value)
+            for labels, value in rows
+            if labels.get("le") is not None
+        ]
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"histogram {family}: last bucket must be +Inf")
+            continue
+        cumulative = [value for _, value in buckets]
+        if any(b > a for b, a in zip(cumulative, cumulative[1:])):
+            errors.append(f"histogram {family}: buckets not cumulative")
+        finite = [_parse_value(le) for le, _ in buckets[:-1]]
+        if any(v is None for v in finite) or finite != sorted(finite):  # type: ignore[type-var]
+            errors.append(f"histogram {family}: bucket bounds not increasing")
+    # _count/_sum presence and the (+Inf == _count) invariant need the
+    # raw per-name samples; collect them in one cheap re-scan.
+    by_name: Dict[str, List[float]] = {}
+    for line in text.splitlines():
+        sample = _SAMPLE_RE.match(line) if line and not line.startswith("#") else None
+        if sample:
+            value = _parse_value(sample.group("value"))
+            if value is not None:
+                by_name.setdefault(sample.group("name"), []).append(value)
+    for family, kind in families.items():
+        if kind != "histogram":
+            continue
+        count_vals = by_name.get(family + "_count")
+        sum_vals = by_name.get(family + "_sum")
+        if not count_vals:
+            errors.append(f"histogram {family}: missing _count")
+        if not sum_vals:
+            errors.append(f"histogram {family}: missing _sum")
+        inf_rows = [
+            value
+            for labels, value in samples.get(family, [])
+            if labels.get("le") == "+Inf"
+        ]
+        if count_vals and inf_rows and inf_rows[-1] != count_vals[-1]:
+            errors.append(
+                f"histogram {family}: +Inf bucket {inf_rows[-1]} != "
+                f"_count {count_vals[-1]}"
+            )
+    return errors, families

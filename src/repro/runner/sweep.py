@@ -534,6 +534,9 @@ class SweepRunner:
                 resolved[key] = outcome.result
                 self._flush(key, outcome.result, checkpoint,
                             stored=outcome.stored)
+                FAULT_COUNTERS.observe(
+                    "sweep.run_seconds", outcome.elapsed_seconds
+                )
                 if monitor is not None:
                     monitor.finish(key, ok=True,
                                    elapsed_seconds=outcome.elapsed_seconds)

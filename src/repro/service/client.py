@@ -37,6 +37,8 @@ from repro.errors import (
     UnknownJobError,
     UnknownWorkerError,
 )
+from repro.obs.trace_context import current, inject_headers
+from repro.obs.tracing import trace_span
 
 #: Terminal job states (mirrors :mod:`repro.service.store` without
 #: importing the simulator stack into light client contexts).
@@ -64,6 +66,7 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         data = None
         headers = {"Accept": "application/json"}
+        inject_headers(headers)
         if body is not None:
             data = json.dumps(dict(body)).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -133,6 +136,24 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/metrics")
 
+    def metrics_prom(self) -> str:
+        """The Prometheus text exposition (``/metrics?format=prom``)."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics?format=prom",
+            headers={"Accept": "text/plain"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
     def submit(
         self,
         spec: Mapping[str, Any],
@@ -148,23 +169,36 @@ class ServiceClient:
         ``retry_after_seconds`` hint (capped at ``max_retry_wait``) and
         retries, up to ``retries`` extra attempts; the final throttle is
         re-raised.
+
+        With ``REPRO_TRACE`` set this is where a distributed trace is
+        born: the ``client.submit`` span mints a trace root (unless an
+        ambient context already exists) and its context rides both the
+        request header and the spec's ``trace`` field, so every
+        scheduler/fleet/worker span for this job stitches under it.
         """
-        body = {"spec": dict(spec), "client": client, "priority": priority}
-        attempts = max(0, int(retries))
-        while True:
-            try:
-                payload = self._request("POST", "/v1/jobs", body=body)
-            except ThrottledError as exc:
-                if attempts <= 0:
-                    raise
-                attempts -= 1
-                wait = min(
-                    max(0.0, float(exc.retry_after_seconds)),
-                    max_retry_wait,
-                )
-                self._sleep(wait)
-                continue
-            return payload["job"]
+        spec_body = dict(spec)
+        with trace_span("client.submit", client=client):
+            ctx = current()
+            if ctx is not None and not spec_body.get("trace"):
+                spec_body["trace"] = ctx.traceparent()
+            body = {
+                "spec": spec_body, "client": client, "priority": priority
+            }
+            attempts = max(0, int(retries))
+            while True:
+                try:
+                    payload = self._request("POST", "/v1/jobs", body=body)
+                except ThrottledError as exc:
+                    if attempts <= 0:
+                        raise
+                    attempts -= 1
+                    wait = min(
+                        max(0.0, float(exc.retry_after_seconds)),
+                        max_retry_wait,
+                    )
+                    self._sleep(wait)
+                    continue
+                return payload["job"]
 
     def jobs(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/v1/jobs")["jobs"]

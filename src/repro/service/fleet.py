@@ -52,7 +52,8 @@ from repro.errors import (
     WorkerLostError,
 )
 from repro.obs.counters import FAULT_COUNTERS
-from repro.obs.tracing import trace_event
+from repro.obs.trace_context import activate, current, parse_traceparent
+from repro.obs.tracing import trace_event, trace_span
 from repro.runner.cache import RunCache
 from repro.runner.fault import RunFailure
 from repro.service.registry import WorkerRegistry
@@ -242,6 +243,19 @@ class FleetDispatcher:
         info = self.registry.route(key)
         if info is None:
             raise NoAliveWorkersError("no alive workers to dispatch to")
+        # Re-join the job's distributed trace (we run in an executor
+        # thread, which does not inherit the submitting task's
+        # contextvars): the dispatch span parents under the submit-time
+        # context carried on the spec, and worker-side spans parent
+        # under the dispatch span via the re-stamped spec trace.
+        ctx = parse_traceparent(job.spec.trace)
+        with activate(ctx):
+            with trace_span(
+                "fleet.dispatch", job=job.id, worker=info.id, url=info.url
+            ):
+                return self._dispatch_routed(job, info)
+
+    def _dispatch_routed(self, job, info) -> object:
         worker_id = info.id
         job.worker = worker_id
         with self._lock:
@@ -249,13 +263,19 @@ class FleetDispatcher:
             self._revoked.discard(job.id)
         self.registry.note_dispatch(worker_id)
         FAULT_COUNTERS.increment("fleet.dispatched")
-        trace_event(
-            "fleet.dispatch", job=job.id, worker=worker_id, url=info.url
-        )
+        spec_dict = job.spec.to_dict()
+        span_ctx = current()
+        if span_ctx is not None:
+            spec_dict["trace"] = span_ctx.traceparent()
         client = self._client_factory(info.url)
         try:
+            rtt_start = time.perf_counter()
             remote = client.submit(
-                job.spec.to_dict(), client=job.client, priority=job.priority
+                spec_dict, client=job.client, priority=job.priority
+            )
+            FAULT_COUNTERS.observe(
+                "fleet.dispatch_rtt_seconds",
+                time.perf_counter() - rtt_start,
             )
             while remote.get("state") not in _REMOTE_TERMINAL:
                 if self._is_revoked(job.id):

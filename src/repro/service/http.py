@@ -20,11 +20,20 @@ third-party web framework -- exposing the evaluation service:
   lease); ``POST /v1/workers/{id}/heartbeat`` renews the lease,
   ``DELETE /v1/workers/{id}`` leaves gracefully, ``GET /v1/workers``
   lists members + in-flight assignments
-- ``GET    /healthz``            liveness + drain status
-- ``GET    /metrics``            the process-wide counters
-  (:data:`~repro.obs.counters.FAULT_COUNTERS`) with ``service.*``,
-  ``graph_store.*``, and ``fleet.*`` families broken out, plus
-  scheduler queue/fairness gauges and the worker roster
+- ``GET    /healthz``            liveness + drain status, uptime,
+  queue depth, and alive-worker count (the ``repro top`` poll target)
+- ``GET    /metrics``            the process-wide metrics registry
+  (:data:`~repro.obs.counters.FAULT_COUNTERS`): counters with
+  ``service.*``, ``graph_store.*``, and ``fleet.*`` families broken
+  out, typed gauges and histogram snapshots, scheduler
+  queue/fairness state, and the worker roster.  ``?format=prom`` (or
+  ``Accept: text/plain``) switches to the Prometheus text exposition
+  rendered by :mod:`repro.obs.prom`.
+
+Requests carrying an ``X-Repro-Trace-Id`` traceparent header join
+that distributed trace: the context is activated around routing, and
+a submitted spec without its own ``trace`` field inherits it, so
+worker-side spans stitch under the coordinator's dispatch span.
 
 :class:`ReproService` composes store + scheduler + HTTP listener and
 owns the lifecycle: SIGTERM/SIGINT trigger a drain (running jobs
@@ -34,9 +43,11 @@ finish, queued jobs persist for the next boot) before the loop exits.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import signal
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
@@ -53,7 +64,9 @@ from repro.errors import (
     UnknownJobError,
     UnknownWorkerError,
 )
+from repro.obs import prom
 from repro.obs.counters import FAULT_COUNTERS
+from repro.obs.trace_context import activate, current, extract_headers
 from repro.obs.tracing import trace_event
 from repro.runner.cache import RunCache
 from repro.runner.sweep import SweepRunner
@@ -140,6 +153,10 @@ class ServiceHTTP:
         self.store = store
         self.cache = cache
         self.registry = registry
+        #: Monotonic birth stamp backing ``/healthz``'s
+        #: ``uptime_seconds``; :meth:`ReproService.start` re-stamps it
+        #: when the listener actually binds.
+        self.started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -162,13 +179,21 @@ class ServiceHTTP:
 
     async def _dispatch_safe(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
         try:
-            method, path, query, body = await self._read_request(reader)
+            method, path, query, body, req_headers = (
+                await self._read_request(reader)
+            )
         except _HttpError as exc:
             return exc.status, {"error": exc.code, "message": str(exc)}, {}
         try:
-            status, payload = await self._route(method, path, query, body)
+            # Join the caller's distributed trace (if any) for the span
+            # of this request: routing, submission, and any trace_event
+            # fired inline all stamp its ids.
+            with activate(extract_headers(req_headers)):
+                status, payload = await self._route(
+                    method, path, query, body, req_headers
+                )
             return status, payload, {}
         except _HttpError as exc:
             return exc.status, {"error": exc.code, "message": str(exc)}, {}
@@ -219,7 +244,8 @@ class ServiceHTTP:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Dict[str, list], Optional[Dict[str, Any]]]:
+    ) -> Tuple[str, str, Dict[str, list], Optional[Dict[str, Any]],
+               Dict[str, str]]:
         request_line = await reader.readline()
         if not request_line:
             raise _HttpError(400, "empty_request", "empty request")
@@ -246,18 +272,26 @@ class ServiceHTTP:
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise _HttpError(400, "bad_json", f"body is not JSON: {exc}")
         parts = urlsplit(target)
-        return method.upper(), parts.path, parse_qs(parts.query), body
+        return (
+            method.upper(), parts.path, parse_qs(parts.query), body, headers
+        )
 
     async def _respond(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], str],
         extra_headers: Dict[str, str],
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text body (the Prometheus exposition).
+            body = payload.encode("utf-8")
+            content_type = prom.CONTENT_TYPE
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         headers = {
-            "Content-Type": "application/json",
+            "Content-Type": content_type,
             "Content-Length": str(len(body)),
             "Connection": "close",
             "Server": f"repro-service/{__version__}",
@@ -278,11 +312,12 @@ class ServiceHTTP:
         path: str,
         query: Dict[str, list],
         body: Optional[Dict[str, Any]],
-    ) -> Tuple[int, Dict[str, Any]]:
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
         if path == "/healthz" and method == "GET":
             return self._healthz()
         if path == "/metrics" and method == "GET":
-            return self._metrics()
+            return self._metrics(query, headers or {})
         if path == "/v1/jobs":
             if method == "POST":
                 return await self._submit(body)
@@ -325,10 +360,35 @@ class ServiceHTTP:
     def _healthz(self) -> Tuple[int, Dict[str, Any]]:
         snap = self.scheduler.snapshot()
         status = "draining" if snap["draining"] else "ok"
-        return 200, {"status": status, "version": __version__, **snap}
+        workers_alive = (
+            len(self.registry.alive()) if self.registry is not None else 0
+        )
+        return 200, {
+            "status": status,
+            "version": __version__,
+            "uptime_seconds": round(
+                max(0.0, time.monotonic() - self.started_monotonic), 3
+            ),
+            "workers_alive": workers_alive,
+            **snap,
+        }
 
-    def _metrics(self) -> Tuple[int, Dict[str, Any]]:
+    def _metrics(
+        self, query: Dict[str, list], headers: Dict[str, str]
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        # Scrape-time gauge refresh: queue/running gauges are published
+        # on mutation, but an idle scheduler should still scrape fresh.
+        self.scheduler._publish_gauges()
         counters = FAULT_COUNTERS.snapshot()
+        gauges = FAULT_COUNTERS.gauges()
+        histograms = FAULT_COUNTERS.histograms()
+
+        fmt = (query.get("format") or [""])[-1].lower()
+        accept = headers.get("accept", "")
+        if fmt == "prom" or (
+            not fmt and accept.startswith("text/plain")
+        ):
+            return 200, prom.render_prometheus(counters, gauges, histograms)
 
         def family(prefix: str) -> Dict[str, int]:
             return {
@@ -339,6 +399,8 @@ class ServiceHTTP:
 
         payload = {
             "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
             "service": family("service."),
             "graph_store": family("graph_store."),
             "fleet": family("fleet."),
@@ -356,6 +418,13 @@ class ServiceHTTP:
         if not isinstance(body, dict):
             raise JobSpecError("POST /v1/jobs needs a JSON object body")
         spec = JobSpec.from_dict(body.get("spec", {}))
+        if spec.trace is None:
+            # The spec's own trace field wins; otherwise inherit the
+            # request header's context (activated by _dispatch_safe) so
+            # scheduler/worker spans stitch under the caller's span.
+            ctx = current()
+            if ctx is not None:
+                spec = dataclasses.replace(spec, trace=ctx.traceparent())
         client = str(body.get("client", "anonymous"))
         try:
             priority = int(body.get("priority", 0))
@@ -577,6 +646,7 @@ class ReproService:
             self.http.handle, host=host, port=port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.http.started_monotonic = time.monotonic()
         trace_event("service.start", host=host, port=self.port,
                     resumed=resumed)
         return self.port

@@ -18,7 +18,12 @@ a revoked dispatch never reports a result.
 
 All mutations are thread-safe (HTTP handlers run on the loop thread,
 the dispatcher and reaper touch the registry from executor threads) and
-counted under ``fleet.*`` in :data:`~repro.obs.counters.FAULT_COUNTERS`.
+counted under ``fleet.*`` in :data:`~repro.obs.counters.FAULT_COUNTERS`,
+which also carries the ``fleet.workers_alive`` gauge (refreshed on
+every membership change), the ``fleet.heartbeat_age_seconds`` histogram
+(lease-health distribution: gap between consecutive beats), and the
+``fleet.ring_rebuild_seconds`` histogram timing every hash-ring
+add/remove rebuild.
 """
 
 from __future__ import annotations
@@ -82,6 +87,31 @@ class WorkerRegistry:
         self._lock = threading.Lock()
         self._workers: Dict[str, WorkerInfo] = {}
 
+    def _ring_add(self, worker_id: str) -> None:
+        start = time.perf_counter()
+        if self.ring.add(worker_id):
+            FAULT_COUNTERS.observe(
+                "fleet.ring_rebuild_seconds", time.perf_counter() - start
+            )
+        self._publish_alive_locked()
+
+    def _ring_remove(self, worker_id: str) -> None:
+        start = time.perf_counter()
+        if self.ring.remove(worker_id):
+            FAULT_COUNTERS.observe(
+                "fleet.ring_rebuild_seconds", time.perf_counter() - start
+            )
+        self._publish_alive_locked()
+
+    def _publish_alive_locked(self) -> None:
+        # Caller holds self._lock; ring membership == routable workers,
+        # but the gauge reports ALIVE records (ring adds may lag a
+        # state flip by a line, so count states, not ring nodes).
+        FAULT_COUNTERS.set_gauge(
+            "fleet.workers_alive",
+            sum(1 for w in self._workers.values() if w.state == ALIVE),
+        )
+
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
@@ -118,7 +148,7 @@ class WorkerRegistry:
                 existing.last_heartbeat = now
                 if existing.state != ALIVE:
                     existing.state = ALIVE
-                    self.ring.add(wid)
+                    self._ring_add(wid)
                     FAULT_COUNTERS.increment("fleet.revived")
                 if meta:
                     existing.meta.update(meta)
@@ -126,7 +156,7 @@ class WorkerRegistry:
             for other in self._workers.values():
                 if other.url == url and other.state == ALIVE:
                     other.state = LEFT
-                    self.ring.remove(other.id)
+                    self._ring_remove(other.id)
                     FAULT_COUNTERS.increment("fleet.superseded")
             info = WorkerInfo(
                 id=wid,
@@ -142,7 +172,7 @@ class WorkerRegistry:
                 meta=dict(meta or {}),
             )
             self._workers[wid] = info
-            self.ring.add(wid)
+            self._ring_add(wid)
             FAULT_COUNTERS.increment("fleet.registered")
             trace_event("fleet.register", worker=wid, url=url)
             return self._snap(info)
@@ -154,12 +184,19 @@ class WorkerRegistry:
             info = self._workers.get(worker_id)
             if info is None or info.state == LEFT:
                 raise UnknownWorkerError(worker_id)
+            # Gap since the previous beat (or registration): the lease
+            # health distribution.  A p95 near lease_seconds means the
+            # fleet is one hiccup away from spurious expiries.
+            FAULT_COUNTERS.observe(
+                "fleet.heartbeat_age_seconds",
+                max(0.0, now - info.last_heartbeat),
+            )
             info.last_heartbeat = now
             info.heartbeats += 1
             FAULT_COUNTERS.increment("fleet.heartbeats")
             if info.state == DEAD:
                 info.state = ALIVE
-                self.ring.add(worker_id)
+                self._ring_add(worker_id)
                 FAULT_COUNTERS.increment("fleet.revived")
                 trace_event("fleet.revive", worker=worker_id)
             return self._snap(info)
@@ -172,7 +209,7 @@ class WorkerRegistry:
                 raise UnknownWorkerError(worker_id)
             if info.state != LEFT:
                 info.state = LEFT
-                self.ring.remove(worker_id)
+                self._ring_remove(worker_id)
                 FAULT_COUNTERS.increment("fleet.deregistered")
                 trace_event("fleet.deregister", worker=worker_id)
             return self._snap(info)
@@ -184,7 +221,7 @@ class WorkerRegistry:
             if info is None or info.state != ALIVE:
                 return
             info.state = DEAD
-            self.ring.remove(worker_id)
+            self._ring_remove(worker_id)
             FAULT_COUNTERS.increment("fleet.dead")
             trace_event("fleet.dead", worker=worker_id, reason=reason)
 
@@ -202,7 +239,7 @@ class WorkerRegistry:
                     continue
                 if stamp - info.last_heartbeat > info.lease_seconds:
                     info.state = DEAD
-                    self.ring.remove(info.id)
+                    self._ring_remove(info.id)
                     expired.append(self._snap(info))
         for info in expired:
             FAULT_COUNTERS.increment("fleet.expired")

@@ -36,7 +36,17 @@ single-process service rather than stalling.
 
 All ``service.*`` / ``fleet.*`` counters go to the process-wide
 :data:`~repro.obs.counters.FAULT_COUNTERS` registry, which ``GET
-/metrics`` snapshots.
+/metrics`` snapshots.  The same registry carries the scheduler's typed
+metrics: ``service.queue_depth`` / ``service.running_jobs`` gauges
+(refreshed on every queue/running mutation) and the
+``service.queue_wait_seconds`` (enqueue-to-dispatch latency) and
+``service.run_seconds`` (dispatch-to-settle latency) histograms.
+
+Jobs whose spec carries a ``trace`` traceparent re-join their
+distributed trace here: ``_execute`` activates the context around the
+dispatch events, and the executor-thread halves (``_run_blocking``,
+``FleetDispatcher.dispatch``) re-activate it themselves because
+``run_in_executor`` does not propagate contextvars.
 
 ``REPRO_SERVICE_JOB_DELAY_MS`` injects an artificial pre-run delay
 into :meth:`JobScheduler._run_blocking` -- a chaos/test knob that
@@ -60,7 +70,8 @@ from repro.errors import (
     WorkerLostError,
 )
 from repro.obs.counters import FAULT_COUNTERS
-from repro.obs.tracing import trace_event
+from repro.obs.trace_context import activate, parse_traceparent
+from repro.obs.tracing import trace_event, trace_span
 from repro.runner.cache import spec_key
 from repro.runner.fault import RunFailure
 from repro.runner.monitor import SweepMonitor
@@ -186,6 +197,7 @@ class JobScheduler:
             self._queued.append(job.id)
             self._post_event(job.id, {"type": "state", "state": job.state,
                                       "recovered": True})
+        self._publish_gauges()
         if interrupted:
             FAULT_COUNTERS.increment("service.recovered", interrupted)
         if resumable:
@@ -349,6 +361,7 @@ class JobScheduler:
             job.transition(QUEUED)
             self.store.put(job)
             self._queued.append(job.id)
+            self._publish_gauges()
         finally:
             self._admitting -= 1
         self._post_event(job.id, {"type": "state", "state": QUEUED})
@@ -388,6 +401,7 @@ class JobScheduler:
         if job.state in (SUBMITTED, QUEUED):
             if job.id in self._queued:
                 self._queued.remove(job.id)
+                self._publish_gauges()
             job.transition(CANCELLED)
             self.store.put(job)
             FAULT_COUNTERS.increment("service.cancelled")
@@ -477,58 +491,76 @@ class JobScheduler:
             if self.draining:
                 return
 
+    def _publish_gauges(self) -> None:
+        """Refresh the queue-depth / running-jobs gauges after mutation."""
+        FAULT_COUNTERS.set_gauge("service.queue_depth", len(self._queued))
+        FAULT_COUNTERS.set_gauge("service.running_jobs", len(self._running))
+
     async def _execute(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
+        # Time in queue: the QUEUED transition stamped updated_at when
+        # the job (or its crash-recovery requeue) was enqueued.
+        FAULT_COUNTERS.observe(
+            "service.queue_wait_seconds",
+            max(0.0, time.time() - job.updated_at),
+        )
         job.transition(RUNNING)
         job.attempts += 1
         self.store.put(job)
         self._running.add(job.id)
+        self._publish_gauges()
         self._fairness[job.client] = self._fairness.get(job.client, 0) + 1
         FAULT_COUNTERS.increment("service.dispatched")
         self._post_event(job.id, {"type": "state", "state": RUNNING})
-        trace_event("service.dispatch", job=job.id, client=job.client,
-                    priority=job.priority)
 
         monitor = _JobMonitor(
             lambda payload: self._post_event(job.id, payload), loop
         )
         outcome = None
-        try:
-            if self.fleet is not None and self.fleet.has_workers():
-                try:
+        run_start = time.perf_counter()
+        with activate(parse_traceparent(job.spec.trace)):
+            trace_event("service.dispatch", job=job.id, client=job.client,
+                        priority=job.priority)
+            try:
+                if self.fleet is not None and self.fleet.has_workers():
+                    try:
+                        outcome = await loop.run_in_executor(
+                            None, self.fleet.dispatch, job
+                        )
+                    except NoAliveWorkersError:
+                        outcome = None  # ring emptied under us: run locally
+                    except WorkerLostError as exc:
+                        if await self._requeue_lost(job, exc):
+                            return
+                        outcome = RunFailure(
+                            key=job.key or "",
+                            spec=None,
+                            kind="worker_lost",
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                        )
+                if outcome is None:
+                    if self.fleet is not None:
+                        FAULT_COUNTERS.increment("fleet.local_fallback")
                     outcome = await loop.run_in_executor(
-                        None, self.fleet.dispatch, job
+                        None, self._run_blocking, job, monitor
                     )
-                except NoAliveWorkersError:
-                    outcome = None  # ring emptied under us: run locally
-                except WorkerLostError as exc:
-                    if await self._requeue_lost(job, exc):
-                        return
-                    outcome = RunFailure(
-                        key=job.key or "",
-                        spec=None,
-                        kind="worker_lost",
-                        error_type=type(exc).__name__,
-                        message=str(exc),
-                    )
-            if outcome is None:
-                if self.fleet is not None:
-                    FAULT_COUNTERS.increment("fleet.local_fallback")
-                outcome = await loop.run_in_executor(
-                    None, self._run_blocking, job, monitor
+            except Exception as exc:  # defensive: the runner returns failures
+                outcome = RunFailure(
+                    key=job.key or "",
+                    spec=None,
+                    kind="error",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
                 )
-        except Exception as exc:  # defensive: the runner returns failures
-            outcome = RunFailure(
-                key=job.key or "",
-                spec=None,
-                kind="error",
-                error_type=type(exc).__name__,
-                message=str(exc),
-            )
-        finally:
-            self._running.discard(job.id)
+            finally:
+                self._running.discard(job.id)
+                self._publish_gauges()
 
-        self._settle(job, outcome)
+            FAULT_COUNTERS.observe(
+                "service.run_seconds", time.perf_counter() - run_start
+            )
+            self._settle(job, outcome)
 
     def _settle(self, job: Job, outcome) -> None:
         """Record one finished job's terminal state and notify pollers."""
@@ -569,6 +601,10 @@ class JobScheduler:
         """
         loop = asyncio.get_running_loop()
         for job in jobs:
+            FAULT_COUNTERS.observe(
+                "service.queue_wait_seconds",
+                max(0.0, time.time() - job.updated_at),
+            )
             job.transition(RUNNING)
             job.attempts += 1
             self.store.put(job)
@@ -578,38 +614,47 @@ class JobScheduler:
             )
             FAULT_COUNTERS.increment("service.dispatched")
             self._post_event(job.id, {"type": "state", "state": RUNNING})
+        self._publish_gauges()
         FAULT_COUNTERS.increment("service.batch_dispatched")
-        trace_event(
-            "service.batch_dispatch",
-            jobs=[job.id for job in jobs],
-            graph=jobs[0].spec.graph,
-        )
 
         def post_all(payload: Dict[str, Any]) -> None:
             for job in jobs:
                 self._post_event(job.id, payload)
 
         monitor = _JobMonitor(post_all, loop)
-        try:
-            outcomes = await loop.run_in_executor(
-                None, self._run_blocking_batch, jobs, monitor
+        run_start = time.perf_counter()
+        # The batch shares the lead job's trace context (batchmates keep
+        # their own trace ids on their specs; the shared executor trip
+        # can only follow one).
+        with activate(parse_traceparent(jobs[0].spec.trace)):
+            trace_event(
+                "service.batch_dispatch",
+                jobs=[job.id for job in jobs],
+                graph=jobs[0].spec.graph,
             )
-        except Exception as exc:  # defensive: the runner returns failures
-            outcomes = [
-                RunFailure(
-                    key=job.key or "",
-                    spec=None,
-                    kind="error",
-                    error_type=type(exc).__name__,
-                    message=str(exc),
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, self._run_blocking_batch, jobs, monitor
                 )
-                for job in jobs
-            ]
-        finally:
-            for job in jobs:
-                self._running.discard(job.id)
-        for job, outcome in zip(jobs, outcomes):
-            self._settle(job, outcome)
+            except Exception as exc:  # defensive: the runner returns failures
+                outcomes = [
+                    RunFailure(
+                        key=job.key or "",
+                        spec=None,
+                        kind="error",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+                    for job in jobs
+                ]
+            finally:
+                for job in jobs:
+                    self._running.discard(job.id)
+                self._publish_gauges()
+            batch_seconds = time.perf_counter() - run_start
+            for job, outcome in zip(jobs, outcomes):
+                FAULT_COUNTERS.observe("service.run_seconds", batch_seconds)
+                self._settle(job, outcome)
 
     def _run_blocking_batch(self, jobs: List[Job], monitor: SweepMonitor):
         """Executor-thread half of the batch lane: one sweep, N jobs."""
@@ -622,9 +667,14 @@ class JobScheduler:
             if job.key is None:
                 job.key = spec_key(run_spec)
             run_specs.append(run_spec)
-        results, stats = self.runner.run(
-            run_specs, on_failure="return", monitor=monitor
-        )
+        # Executor thread: re-join the lead job's trace explicitly.
+        with activate(parse_traceparent(jobs[0].spec.trace)):
+            with trace_span(
+                "service.batch_run", jobs=[job.id for job in jobs]
+            ):
+                results, stats = self.runner.run(
+                    run_specs, on_failure="return", monitor=monitor
+                )
         return results
 
     async def _requeue_lost(self, job: Job, exc: WorkerLostError) -> bool:
@@ -640,6 +690,7 @@ class JobScheduler:
         job.transition(QUEUED)
         self.store.put(job)
         self._queued.append(job.id)
+        self._publish_gauges()
         FAULT_COUNTERS.increment("fleet.requeued")
         trace_event(
             "fleet.requeue",
@@ -678,9 +729,15 @@ class JobScheduler:
             # Recovered from a crash that hit before admission finished
             # digesting the spec; the result endpoint needs the key.
             job.key = spec_key(run_spec)
-        results, stats = self.runner.run(
-            [run_spec], on_failure="return", monitor=monitor
-        )
+        # Executor thread: re-join the job's trace explicitly (the
+        # loop task's contextvars do not cross run_in_executor).  The
+        # runner's own sweep.run span -- and, via fork, the worker's
+        # nova.run span -- nest under service.run.
+        with activate(parse_traceparent(job.spec.trace)):
+            with trace_span("service.run", job=job.id):
+                results, stats = self.runner.run(
+                    [run_spec], on_failure="return", monitor=monitor
+                )
         return results[0]
 
     # ------------------------------------------------------------------

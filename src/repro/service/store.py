@@ -111,6 +111,11 @@ class JobSpec:
     onchip: Optional[str] = None
     workload_kwargs: Mapping[str, Any] = field(default_factory=dict)
     timeline: bool = False
+    #: Traceparent string (``00-<trace>-<span>-01``) binding this job
+    #: to a distributed trace.  Carried verbatim through the journal
+    #: and the fleet dispatch hop; NOT part of the lowered RunSpec, so
+    #: traced and untraced submissions share one cache key.
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workload not in _KNOWN_WORKLOADS:
@@ -133,6 +138,8 @@ class JobSpec:
             raise JobSpecError(
                 f"max_quanta must be >= 1, got {self.max_quanta}"
             )
+        if self.trace is not None and not isinstance(self.trace, str):
+            raise JobSpecError("trace must be a traceparent string or null")
 
     # -- serialization --------------------------------------------------
 

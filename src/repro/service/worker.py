@@ -27,6 +27,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ServiceError, UnknownWorkerError
+from repro.obs.trace_context import inject_env
 from repro.obs.tracing import trace_event
 
 
@@ -146,6 +147,9 @@ class LocalWorkerPool:
         """Spawn the workers; returns their pids."""
         os.makedirs(self.state_root, exist_ok=True)
         env = dict(self.env if self.env is not None else os.environ)
+        # Carry the ambient trace context (if any) into the worker
+        # processes; REPRO_TRACE itself flows via plain env inheritance.
+        inject_env(env)
         for index in range(self.count):
             state_dir = os.path.join(self.state_root, f"worker-{index}")
             log = open(

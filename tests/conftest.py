@@ -28,6 +28,18 @@ if "REPRO_GRAPH_STORE_DIR" not in os.environ:
     os.environ["REPRO_GRAPH_STORE_DIR"] = _STORE_TMP.name
 
 
+@pytest.fixture(autouse=True)
+def _fresh_trace_sink():
+    """Re-read the cached REPRO_TRACE sink / traceparent env around
+    every test, so monkeypatched tracing env takes effect despite the
+    once-per-process caches in :mod:`repro.obs.tracing`."""
+    from repro.obs import tracing
+
+    tracing.refresh()
+    yield
+    tracing.refresh()
+
+
 @pytest.fixture(scope="session")
 def tiny_graph() -> CSRGraph:
     """A hand-built 6-vertex graph with known structure.

@@ -1,0 +1,170 @@
+"""Tests for trace stitching (repro.obs.stitch)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.stitch import (
+    load_trace_records,
+    render_tree,
+    resolve_trace_id,
+    stitch,
+    summarize,
+)
+
+TRACE = "a" * 32
+OTHER = "b" * 32
+
+
+def span(name, span_id, parent=None, trace=TRACE, ts=0.0, dur=1000, **attrs):
+    record = {
+        "name": name,
+        "ts": ts,
+        "dur_ns": dur,
+        "pid": attrs.pop("pid", 100),
+        "trace_id": trace,
+        "span_id": span_id,
+    }
+    if parent is not None:
+        record["parent_span_id"] = parent
+    record.update(attrs)
+    return record
+
+
+class TestLoad:
+    def test_reads_jsonl_and_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(span("a", "1" * 16)) + "\n")
+            f.write("\n")
+            f.write('{"torn": ')  # killed writer mid-line
+        records = load_trace_records([str(path)])
+        assert len(records) == 1
+        assert records[0]["name"] == "a"
+
+    def test_merges_multiple_files(self, tmp_path):
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"t{i}.jsonl"
+            path.write_text(json.dumps(span(f"s{i}", f"{i + 1}" * 16)) + "\n")
+            paths.append(str(path))
+        assert len(load_trace_records(paths)) == 2
+
+
+class TestResolve:
+    RECORDS = [
+        span("client.submit", "1" * 16, job="j-abc123"),
+        span("other", "2" * 16, trace=OTHER),
+    ]
+
+    def test_exact_trace_id(self):
+        assert resolve_trace_id(self.RECORDS, TRACE) == TRACE
+
+    def test_unique_prefix(self):
+        assert resolve_trace_id(self.RECORDS, "aaaaaa") == TRACE
+
+    def test_short_prefix_rejected(self):
+        assert resolve_trace_id(self.RECORDS, "aaa") is None
+
+    def test_traceparent_form(self):
+        token = f"00-{TRACE}-{'9' * 16}-01"
+        assert resolve_trace_id(self.RECORDS, token) == TRACE
+
+    def test_job_id(self):
+        assert resolve_trace_id(self.RECORDS, "j-abc123") == TRACE
+
+    def test_unknown(self):
+        assert resolve_trace_id(self.RECORDS, "zzzzzzzz") is None
+
+
+class TestStitch:
+    def test_builds_single_tree(self):
+        records = [
+            span("root", "1" * 16, ts=1.0),
+            span("mid", "2" * 16, parent="1" * 16, ts=2.0),
+            span("leaf", "3" * 16, parent="2" * 16, ts=3.0),
+            span("event", "4" * 16, parent="1" * 16, ts=1.5, dur=0),
+        ]
+        roots, orphans = stitch(records, TRACE)
+        assert len(roots) == 1 and not orphans
+        root = roots[0]
+        # Children sort by timestamp: the event fired before "mid".
+        assert [c.name for c in root.children] == ["event", "mid"]
+        assert root.children[1].children[0].name == "leaf"
+        stats = summarize(roots, orphans)
+        assert stats == {
+            "spans": 4, "trees": 1, "orphans": 0, "processes": 1
+        }
+
+    def test_foreign_trace_records_excluded(self):
+        records = [
+            span("root", "1" * 16),
+            span("other", "2" * 16, trace=OTHER),
+            {"name": "untraced", "ts": 0.0, "dur_ns": 1, "pid": 1},
+        ]
+        roots, orphans = stitch(records, TRACE)
+        assert summarize(roots, orphans)["spans"] == 1
+
+    def test_orphan_when_parent_never_emitted(self):
+        records = [
+            span("root", "1" * 16),
+            span("lost", "2" * 16, parent="f" * 16),
+        ]
+        roots, orphans = stitch(records, TRACE)
+        assert len(roots) == 1
+        assert [n.name for n in orphans] == ["lost"]
+
+    def test_duplicate_span_id_demoted_to_orphan(self):
+        records = [
+            span("root", "1" * 16),
+            span("dup", "1" * 16),
+        ]
+        roots, orphans = stitch(records, TRACE)
+        assert len(roots) == 1 and len(orphans) == 1
+
+    def test_cross_process_counting(self):
+        records = [
+            span("root", "1" * 16, pid=10),
+            span("remote", "2" * 16, parent="1" * 16, pid=20),
+        ]
+        stats = summarize(*stitch(records, TRACE))
+        assert stats["processes"] == 2
+
+
+class TestRender:
+    def test_waterfall_shape(self):
+        records = [
+            span("client.submit", "1" * 16, ts=1.0, dur=50_000_000),
+            span("fleet.dispatch", "2" * 16, parent="1" * 16, ts=1.01,
+                 dur=30_000_000, pid=200),
+            span("service.run", "3" * 16, parent="2" * 16, ts=1.02,
+                 dur=20_000_000, pid=300),
+            span("service.settled", "4" * 16, parent="1" * 16, ts=1.05,
+                 dur=0),
+        ]
+        roots, orphans = stitch(records, TRACE)
+        text = render_tree(roots, orphans, TRACE)
+        lines = text.splitlines()
+        assert lines[0] == (
+            f"trace {TRACE}  spans=4 processes=3 trees=1 orphans=0"
+        )
+        assert lines[1].startswith("client.submit")
+        assert "├─ fleet.dispatch" in text
+        assert "└─ service.run" in text
+        assert "└─ service.settled" in text
+        # Events render the dot, spans their duration.
+        assert "·" in text and "50.0ms" in text
+
+    def test_orphans_section(self):
+        records = [
+            span("root", "1" * 16),
+            span("lost", "2" * 16, parent="f" * 16),
+        ]
+        text = render_tree(*stitch(records, TRACE), TRACE)
+        assert "orphans=1" in text
+        assert "orphaned spans" in text and "lost" in text
+
+    def test_error_annotation(self):
+        records = [span("boom", "1" * 16, error="ValueError")]
+        text = render_tree(*stitch(records, TRACE), TRACE)
+        assert "error=ValueError" in text

@@ -1,0 +1,157 @@
+"""Tests for trace-context propagation (repro.obs.trace_context)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.trace_context import (
+    ENV_TRACEPARENT,
+    TRACE_HEADER,
+    TraceContext,
+    activate,
+    current,
+    extract_headers,
+    inject_env,
+    inject_headers,
+    mint,
+    parse_traceparent,
+    refresh,
+)
+
+_TRACEPARENT_RE = re.compile(r"^00-[0-9a-f]{32}-[0-9a-f]{16}-01$")
+
+
+class TestIdentity:
+    def test_mint_shape(self):
+        ctx = mint()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+        assert _TRACEPARENT_RE.match(ctx.traceparent())
+
+    def test_mint_is_unique(self):
+        a, b = mint(), mint()
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_child_keeps_trace_and_parents_here(self):
+        root = mint()
+        kid = root.child()
+        assert kid.trace_id == root.trace_id
+        assert kid.parent_id == root.span_id
+        assert kid.span_id != root.span_id
+
+    def test_roundtrip_through_traceparent(self):
+        ctx = mint()
+        parsed = parse_traceparent(ctx.traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        # The wire form carries no parent: the embedded span id is the
+        # parent-to-be for the receiving side's next child span.
+        assert parsed.parent_id is None
+
+
+class TestParsing:
+    def test_rejects_malformed(self):
+        bad = [
+            None,
+            42,
+            "",
+            "garbage",
+            "00-abc-def-01",                      # wrong lengths
+            "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # wrong version
+            "00-" + "g" * 32 + "-" + "b" * 16 + "-01",  # not hex
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # zero trace id
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # zero span id
+            "00-" + "a" * 32 + "-" + "b" * 16,          # missing flags
+        ]
+        for text in bad:
+            assert parse_traceparent(text) is None, text
+
+    def test_lowercases_hex(self):
+        upper = "00-" + "A" * 32 + "-" + "B" * 16 + "-01"
+        ctx = parse_traceparent(upper)
+        assert ctx.trace_id == "a" * 32
+        assert ctx.span_id == "b" * 16
+
+
+class TestActivation:
+    def test_activate_nests_and_restores(self):
+        assert current() is None
+        outer, inner = mint(), mint()
+        with activate(outer):
+            assert current() is outer
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is None
+
+    def test_activate_none_is_noop(self):
+        ctx = mint()
+        with activate(ctx):
+            with activate(None):
+                assert current() is ctx
+
+
+class TestHeaders:
+    def test_inject_extract_roundtrip(self):
+        ctx = mint()
+        with activate(ctx):
+            headers = inject_headers({"Accept": "application/json"})
+        assert headers[TRACE_HEADER] == ctx.traceparent()
+        # Server-side header maps are lowercased by the reader.
+        lowered = {k.lower(): v for k, v in headers.items()}
+        parsed = extract_headers(lowered)
+        assert parsed.trace_id == ctx.trace_id
+
+    def test_inject_without_context_adds_nothing(self):
+        assert inject_headers({}) == {}
+
+    def test_extract_missing_or_bad_header(self):
+        assert extract_headers({}) is None
+        assert extract_headers({TRACE_HEADER.lower(): "nope"}) is None
+
+
+class TestEnvPropagation:
+    def test_inject_env(self):
+        ctx = mint()
+        with activate(ctx):
+            env = inject_env({})
+        assert env[ENV_TRACEPARENT] == ctx.traceparent()
+
+    def test_env_fallback_and_refresh(self, monkeypatch):
+        ctx = mint()
+        monkeypatch.setenv(ENV_TRACEPARENT, ctx.traceparent())
+        refresh()
+        got = current()
+        assert got is not None and got.trace_id == ctx.trace_id
+        # The parse is cached: mutating the env alone changes nothing...
+        monkeypatch.delenv(ENV_TRACEPARENT)
+        assert current() is not None
+        # ...until refresh drops the cache.
+        refresh()
+        assert current() is None
+
+    def test_contextvar_wins_over_env(self, monkeypatch):
+        env_ctx, local = mint(), mint()
+        monkeypatch.setenv(ENV_TRACEPARENT, env_ctx.traceparent())
+        refresh()
+        with activate(local):
+            assert current() is local
+        assert current().trace_id == env_ctx.trace_id
+
+
+class TestFrozen:
+    def test_context_is_immutable(self):
+        ctx = mint()
+        try:
+            ctx.trace_id = "x"
+        except AttributeError:
+            return
+        raise AssertionError("TraceContext should be frozen")
+
+    def test_equality_by_value(self):
+        a = TraceContext("a" * 32, "b" * 16)
+        b = TraceContext("a" * 32, "b" * 16)
+        assert a == b

@@ -6,7 +6,15 @@ import json
 
 import pytest
 
-from repro.obs.tracing import ENV_VAR, trace_enabled, trace_span, trace_target
+from repro.obs import trace_context
+from repro.obs.tracing import (
+    ENV_VAR,
+    refresh,
+    trace_enabled,
+    trace_event,
+    trace_span,
+    trace_target,
+)
 
 
 def read_jsonl(path):
@@ -76,6 +84,81 @@ class TestEmission:
         err = capsys.readouterr().err
         rec = json.loads(err.strip().splitlines()[-1])
         assert rec["name"] == "to.stderr"
+
+
+class TestSinkCache:
+    def test_cached_until_refresh(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "a.jsonl"))
+        assert trace_target() == str(tmp_path / "a.jsonl")
+        # The parsed sink is cached per process: a bare env change is
+        # invisible until refresh() drops the cache.
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "b.jsonl"))
+        assert trace_target() == str(tmp_path / "a.jsonl")
+        refresh()
+        assert trace_target() == str(tmp_path / "b.jsonl")
+
+
+class TestTraceIdentity:
+    def test_span_mints_a_root(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        with trace_span("root.op"):
+            pass
+        (rec,) = read_jsonl(target)
+        assert len(rec["trace_id"]) == 32
+        assert len(rec["span_id"]) == 16
+        assert "parent_span_id" not in rec
+
+    def test_nested_spans_share_trace_and_parent(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        with trace_span("outer"):
+            with trace_span("inner"):
+                pass
+        inner, outer = read_jsonl(target)  # inner closes first
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_span_id"] == outer["span_id"]
+
+    def test_event_parents_under_enclosing_span(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        with trace_span("outer"):
+            trace_event("tick")
+        event, outer = read_jsonl(target)
+        assert event["parent_span_id"] == outer["span_id"]
+        assert event["span_id"] != outer["span_id"]
+
+    def test_event_without_context_is_idless(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        trace_event("lonely")
+        (rec,) = read_jsonl(target)
+        assert "trace_id" not in rec
+
+    def test_span_joins_activated_context(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        ctx = trace_context.mint()
+        with trace_context.activate(ctx):
+            with trace_span("joined"):
+                pass
+        (rec,) = read_jsonl(target)
+        assert rec["trace_id"] == ctx.trace_id
+        assert rec["parent_span_id"] == ctx.span_id
+
+    def test_span_joins_env_traceparent(self, monkeypatch, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_VAR, str(target))
+        ctx = trace_context.mint()
+        monkeypatch.setenv(
+            trace_context.ENV_TRACEPARENT, ctx.traceparent()
+        )
+        refresh()
+        with trace_span("subprocess.op"):
+            pass
+        (rec,) = read_jsonl(target)
+        assert rec["trace_id"] == ctx.trace_id
+        assert rec["parent_span_id"] == ctx.span_id
 
 
 class TestEngineIntegration:

@@ -30,10 +30,14 @@ SPEC = dict(
 )
 
 
-def popen_fleet(tmp_path, workers=2, delay_ms=1200, lease=2.0):
+def popen_fleet(tmp_path, workers=2, delay_ms=1200, lease=2.0,
+                trace_file=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = "src"
     env.pop("REPRO_CACHE_DIR", None)
+    env.pop("REPRO_TRACE", None)
+    if trace_file is not None:
+        env["REPRO_TRACE"] = str(trace_file)
     # The chaos knob: every job (worker-side too -- the pool inherits
     # the environment) sleeps before running, so kills land mid-job.
     env["REPRO_SERVICE_JOB_DELAY_MS"] = str(delay_ms)
@@ -123,3 +127,81 @@ class TestTwoWorkerFleet:
                 proc.communicate(timeout=30.0)
         assert proc.returncode == 0
         assert "drained: running finished" in out
+
+
+@pytest.mark.slow
+class TestFleetTracePropagation:
+    def test_one_job_stitches_to_one_tree(self, tmp_path, monkeypatch):
+        """A traced submission through a real 2-worker fleet yields one
+        span tree: client -> scheduler -> dispatch -> worker -> run,
+        spanning at least three processes, with zero orphans."""
+        from repro.obs import tracing
+        from repro.obs.stitch import (
+            load_trace_records,
+            render_tree,
+            resolve_trace_id,
+            stitch,
+            summarize,
+        )
+
+        trace_file = tmp_path / "trace.jsonl"
+        # The submitting client (this process) must trace too.
+        monkeypatch.setenv(tracing.ENV_VAR, str(trace_file))
+        tracing.refresh()
+
+        proc = popen_fleet(tmp_path, delay_ms=0, trace_file=trace_file)
+        try:
+            port = wait_for_port(proc)
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                roster = client.workers()
+                if sum(1 for w in roster if w["state"] == "alive") == 2:
+                    break
+                time.sleep(0.2)
+            else:
+                raise AssertionError(f"fleet never formed: {roster}")
+
+            job = client.submit(dict(SPEC, source=0), client="traced")
+            settled = client.wait(job["id"], timeout=180.0)
+            assert settled["state"] == "done", settled
+            assert settled["spec"]["trace"] is not None
+
+            # The Prometheus exposition must validate with the fleet
+            # histograms populated.
+            from repro.obs.prom import validate_exposition
+
+            errors, families = validate_exposition(client.metrics_prom())
+            assert errors == []
+            assert sum(
+                1 for kind in families.values() if kind == "histogram"
+            ) >= 5
+
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=120.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30.0)
+
+        records = load_trace_records([str(trace_file)])
+        trace_id = resolve_trace_id(records, job["id"])
+        assert trace_id is not None, "no span carried the job id"
+        roots, orphans = stitch(records, trace_id)
+        stats = summarize(roots, orphans)
+        tree = render_tree(roots, orphans, trace_id)
+        assert stats["trees"] == 1, tree
+        assert stats["orphans"] == 0, tree
+        assert stats["processes"] >= 3, tree
+        assert roots[0].name == "client.submit", tree
+
+        def names(nodes, out):
+            for node in nodes:
+                out.add(node.name)
+                names(node.children, out)
+            return out
+
+        seen = names(roots, set())
+        for expected in ("client.submit", "fleet.dispatch",
+                         "service.run", "sweep.run"):
+            assert expected in seen, tree

@@ -589,6 +589,33 @@ def _cmd_graph_ls(args: argparse.Namespace) -> int:
 
     store = GraphStore(args.store_dir)
     entries = list(store.entries())
+    if getattr(args, "json", False):
+        import json
+
+        now = time.time()
+        rows = []
+        for digest, size, mtime, manifest in sorted(
+            entries, key=lambda item: item[2], reverse=True
+        ):
+            prov = manifest.get("provenance") or {}
+            spec_fields = prov.get("spec") or {}
+            rows.append({
+                "digest": digest,
+                "spec": spec_fields.get("spec"),
+                "weighted": bool(spec_fields.get("weighted")),
+                "symmetrized": bool(spec_fields.get("symmetrized")),
+                "num_vertices": manifest.get("num_vertices", 0),
+                "num_edges": manifest.get("num_edges", 0),
+                "bytes": size,
+                "age_seconds": max(0.0, now - mtime),
+            })
+        payload = {
+            "root": str(store.root),
+            "artifacts": rows,
+            "total_bytes": sum(row["bytes"] for row in rows),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not entries:
         print(f"no graph artifacts in {store.root}")
         return 0
@@ -980,6 +1007,146 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_list(text: Optional[str]) -> list:
+    """``"1:2,3:4"`` -> ``[[1, 2], [3, 4]]`` (empty/None -> ``[]``)."""
+    if not text:
+        return []
+    edges = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            src, dst = part.split(":")
+            edges.append([int(src), int(dst)])
+        except ValueError:
+            raise ReproError(
+                f"bad edge {part!r}: expected src:dst, e.g. 1:2"
+            ) from None
+    return edges
+
+
+def _print_session(record: dict) -> None:
+    print(
+        f"session {record['id']}: {record['state']} {record['graph']} "
+        f"seed={record['seed']} version={record['version_digest'][:12]} "
+        f"deltas={record['delta_seq']}"
+    )
+
+
+def _cmd_stream_session(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.create_session(
+        args.graph, seed=args.seed, client=args.client
+    )
+    _print_session(record)
+    return 0
+
+
+def _cmd_stream_ls(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    records = client.sessions()
+    if not records:
+        print("no sessions")
+        return 0
+    print(f"{'id':>16} {'state':>7} {'graph':>20} {'version':>12} "
+          f"{'deltas':>6}  client")
+    for record in records:
+        print(
+            f"{record['id']:>16} {record['state']:>7} "
+            f"{record['graph']:>20} {record['version_digest'][:12]:>12} "
+            f"{record['delta_seq']:>6}  {record['client']}"
+        )
+    return 0
+
+
+def _cmd_stream_apply(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    inserts = _parse_edge_list(args.insert)
+    deletes = _parse_edge_list(args.delete)
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        inserts.extend(payload.get("inserts", []))
+        deletes.extend(payload.get("deletes", []))
+    if not inserts and not deletes:
+        print("error: empty delta -- pass --insert/--delete/--file",
+              file=sys.stderr)
+        return 1
+    client = ServiceClient(args.url)
+    record = client.apply_delta(
+        args.session, inserts=inserts, deletes=deletes
+    )
+    print(
+        f"applied +{len(inserts)}/-{len(deletes)} edge(s): ",
+        end="",
+    )
+    _print_session(record)
+    return 0
+
+
+def _cmd_stream_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import TERMINAL_STATES
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    job = client.session_submit(
+        args.session,
+        workload=args.workload,
+        mode=args.mode,
+        source=args.source,
+        client=args.client,
+        priority=args.priority,
+    )
+    suffix = " (served from cache)" if job.get("cached") else ""
+    print(f"job {job['id']}: {job['state']}{suffix}")
+    if args.wait and job["state"] not in TERMINAL_STATES:
+        job = client.wait(job["id"], timeout=args.wait_timeout)
+        print(f"job {job['id']}: {job['state']}")
+    if job["state"] == "done" and (args.wait or job.get("cached")):
+        payload = client.result(job["id"])
+        print(payload["result"]["summary"])
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(json.dumps(payload, indent=2, sort_keys=True))
+            print(f"wrote {args.json}", file=sys.stderr)
+    if job["state"] == "failed":
+        print(
+            f"error: {job.get('error_type')}: {job.get('error_message')}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_stream_compact(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.compact_session(args.session)
+    print("compacted: ", end="")
+    _print_session(record)
+    return 0
+
+
+def _cmd_stream_close(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.close_session(args.session)
+    _print_session(record)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1293,6 +1460,75 @@ def make_parser() -> argparse.ArgumentParser:
                      help="render a single frame and exit")
     top.set_defaults(func=_cmd_top)
 
+    stream = sub.add_parser(
+        "stream",
+        help="resident graph sessions: deltas and incremental queries",
+    )
+    ssub = stream.add_subparsers(dest="stream_command", required=True)
+
+    ssession = ssub.add_parser(
+        "session", help="pin a base graph as a resident session"
+    )
+    add_client_args(ssession)
+    ssession.add_argument("--graph", default="rmat:14:16",
+                          help="graph specifier (see --help header)")
+    ssession.add_argument("--seed", type=int, default=42)
+    ssession.add_argument("--client", default="cli",
+                          help="client name for fairness accounting")
+    ssession.set_defaults(func=_cmd_stream_session)
+
+    sls = ssub.add_parser("ls", help="list resident sessions")
+    add_client_args(sls)
+    sls.set_defaults(func=_cmd_stream_ls)
+
+    sapply = ssub.add_parser(
+        "apply", help="append one edge-delta batch to a session"
+    )
+    add_client_args(sapply)
+    sapply.add_argument("session", help="session id")
+    sapply.add_argument("--insert", default=None,
+                        help="edges to insert, e.g. 1:2,3:4")
+    sapply.add_argument("--delete", default=None,
+                        help="edges to delete, e.g. 5:6")
+    sapply.add_argument("--file", default=None,
+                        help="JSON file with inserts/deletes arrays")
+    sapply.set_defaults(func=_cmd_stream_apply)
+
+    squery = ssub.add_parser(
+        "query", help="run a workload against the session's current version"
+    )
+    add_client_args(squery)
+    squery.add_argument("session", help="session id")
+    squery.add_argument("--workload", choices=("bfs", "cc", "pr"),
+                        default="pr")
+    squery.add_argument("--mode", choices=("incremental", "cold"),
+                        default="incremental",
+                        help="incremental reuses resident state; cold "
+                             "recomputes on the materialized graph")
+    squery.add_argument("--source", type=int, default=None,
+                        help="bfs source (default: highest out-degree)")
+    squery.add_argument("--client", default="cli")
+    squery.add_argument("--priority", type=int, default=0)
+    squery.add_argument("--wait", action="store_true",
+                        help="long-poll events until the job settles")
+    squery.add_argument("--wait-timeout", type=float, default=None)
+    squery.add_argument("--json", default=None,
+                        help="write the result payload here")
+    squery.set_defaults(func=_cmd_stream_query)
+
+    scompact = ssub.add_parser(
+        "compact",
+        help="merge a session's deltas into a fresh published CSR",
+    )
+    add_client_args(scompact)
+    scompact.add_argument("session", help="session id")
+    scompact.set_defaults(func=_cmd_stream_compact)
+
+    sclose = ssub.add_parser("close", help="close a session")
+    add_client_args(sclose)
+    sclose.add_argument("session", help="session id")
+    sclose.set_defaults(func=_cmd_stream_close)
+
     graph = sub.add_parser(
         "graph",
         help="manage the graph artifact store (build once, mmap everywhere)",
@@ -1326,6 +1562,8 @@ def make_parser() -> argparse.ArgumentParser:
     gbuild.set_defaults(func=_cmd_graph_build)
 
     gls = gsub.add_parser("ls", help="list stored graph artifacts")
+    gls.add_argument("--json", action="store_true",
+                     help="machine-readable listing with byte sizes")
     add_store_arg(gls)
     gls.set_defaults(func=_cmd_graph_ls)
 

@@ -168,6 +168,36 @@ class ServiceUnavailableError(ServiceError):
     """The service is draining for shutdown and not accepting work."""
 
 
+class StreamError(ReproError):
+    """A streaming-graph operation is invalid (see :mod:`repro.stream`).
+
+    Raised for malformed :class:`~repro.stream.delta.EdgeDeltaBatch`
+    payloads and for delta applications that violate the overlay's
+    consistency contract (inserting an edge that already exists,
+    deleting one that does not, endpoints out of range).
+    """
+
+
+class UnknownSessionError(ServiceError):
+    """The referenced graph session id does not exist."""
+
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        super().__init__(f"unknown session {session_id!r}")
+
+
+class SessionStateError(ServiceError):
+    """A session operation is illegal in the session's current state.
+
+    ``state`` describes the conflict (e.g. ``"closed"`` or
+    ``"version_mismatch"``); HTTP maps this to 409 Conflict.
+    """
+
+    def __init__(self, message: str, state: str = ""):
+        self.state = state
+        super().__init__(message)
+
+
 class SweepFailure(ReproError):
     """One or more runs in a sweep ultimately failed.
 

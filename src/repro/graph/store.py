@@ -52,8 +52,9 @@ import hashlib
 import json
 import os
 import shutil
+import threading
 import time
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -92,6 +93,38 @@ def store_enabled() -> bool:
     """False when ``REPRO_GRAPH_STORE`` opts out of the artifact store."""
     value = os.environ.get("REPRO_GRAPH_STORE", "1").strip().lower()
     return value not in ("0", "false", "no", "off")
+
+
+#: Digests pinned by live consumers (resident graph sessions) that
+#: :meth:`GraphStore.prune` must never evict.  A freshly compacted
+#: session artifact would otherwise race the LRU sweep: the publish and
+#: the prune happen in different call stacks, so the single ``protect=``
+#: argument cannot cover it.  Refcounted so two sessions pinning the
+#: same base graph unpin independently.
+_PROTECTED_DIGESTS: Dict[str, int] = {}
+_PROTECTED_LOCK = threading.Lock()
+
+
+def protect_digest(digest: str) -> None:
+    """Pin ``digest`` against pruning until :func:`unprotect_digest`."""
+    with _PROTECTED_LOCK:
+        _PROTECTED_DIGESTS[digest] = _PROTECTED_DIGESTS.get(digest, 0) + 1
+
+
+def unprotect_digest(digest: str) -> None:
+    """Drop one pin on ``digest`` (no-op when it is not pinned)."""
+    with _PROTECTED_LOCK:
+        count = _PROTECTED_DIGESTS.get(digest, 0) - 1
+        if count > 0:
+            _PROTECTED_DIGESTS[digest] = count
+        else:
+            _PROTECTED_DIGESTS.pop(digest, None)
+
+
+def protected_digests() -> Set[str]:
+    """Snapshot of currently pinned digests."""
+    with _PROTECTED_LOCK:
+        return set(_PROTECTED_DIGESTS)
 
 
 def _source_token(spec: str) -> str:
@@ -446,20 +479,34 @@ class GraphStore:
     def total_bytes(self) -> int:
         return sum(size for _, size, _, _ in self.entries())
 
-    def prune(self, max_bytes: int, protect: Optional[str] = None) -> int:
+    def prune(
+        self,
+        max_bytes: int,
+        protect: Union[None, str, Iterable[str]] = None,
+    ) -> int:
         """Drop least-recently-used artifacts until under ``max_bytes``.
 
-        ``protect`` exempts one digest (the artifact just published)
-        so a tight budget cannot evict the graph the caller is about to
-        map.  Returns the number of artifacts removed.
+        ``protect`` exempts a digest (or collection of digests) so a
+        tight budget cannot evict the graph the caller is about to map.
+        Digests pinned via :func:`protect_digest` -- base and compacted
+        artifacts of live streaming sessions -- are always exempt,
+        closing the race between a session's compaction publish and a
+        concurrent LRU sweep.  Returns the number of artifacts removed.
         """
+        if protect is None:
+            protected = set()
+        elif isinstance(protect, str):
+            protected = {protect}
+        else:
+            protected = set(protect)
+        protected |= protected_digests()
         items = sorted(self.entries(), key=lambda item: item[2])
         total = sum(size for _, size, _, _ in items)
         removed = 0
         for digest, size, _, _ in items:
             if total <= max_bytes:
                 break
-            if digest == protect:
+            if digest in protected:
                 continue
             self._evict(digest, reason="evictions")
             total -= size

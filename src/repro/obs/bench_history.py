@@ -259,6 +259,7 @@ def metrics_from_reports(
     store_metrics: Optional[Dict[str, float]] = None,
     batch_metrics: Optional[Dict[str, float]] = None,
     registry_metrics: Optional[Dict[str, float]] = None,
+    stream_metrics: Optional[Dict[str, float]] = None,
 ) -> Dict[str, float]:
     """Flatten perf_smoke's per-case reports into named history metrics."""
     out: Dict[str, float] = {}
@@ -284,6 +285,9 @@ def metrics_from_reports(
         # MetricsRegistry seam cost from BENCH_obs.json; "overhead" in
         # the name makes these lower-is-better with an absolute gate.
         out[f"obs.metrics_registry.{name}"] = float(value)
+    for name, value in (stream_metrics or {}).items():
+        # Incremental-vs-cold speedups from BENCH_stream.json.
+        out[f"stream.{name}"] = float(value)
     return out
 
 
@@ -303,4 +307,5 @@ def metrics_from_bench_dir(results_dir: str) -> Dict[str, float]:
         _load("BENCH_graph_store.json", "metrics"),
         _load("BENCH_batch.json", "metrics"),
         _load("BENCH_obs.json", "metrics_registry").get("metrics", {}),
+        _load("BENCH_stream.json", "metrics"),
     )

@@ -128,6 +128,9 @@ DEFAULT_HISTOGRAMS: Tuple[str, ...] = (
     "fleet.ring_rebuild_seconds",
     "sweep.run_seconds",
     "graph_store.build_seconds",
+    "stream.delta_apply_seconds",
+    "stream.compact_seconds",
+    "stream.query_seconds",
 )
 
 

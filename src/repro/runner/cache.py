@@ -172,7 +172,12 @@ def spec_key(spec: RunSpec) -> str:
     """
     import repro
 
-    graph = spec.resolve_graph()
+    if getattr(spec, "graph_digest", None):
+        # Streaming session specs carry their version digest: the graph
+        # is resident at the service and must not be rebuilt to key.
+        graph_part = str(spec.graph_digest)
+    else:
+        graph_part = graph_digest(spec.resolve_graph())
     kwargs = sorted(spec.workload_kwargs.items())
     parts = [
         f"schema={CACHE_SCHEMA}",
@@ -184,7 +189,7 @@ def spec_key(spec: RunSpec) -> str:
         f"max_quanta={spec.max_quanta}",
         f"config={_config_token(spec.config)}",
         f"obs={_config_token(spec.obs)}",
-        f"graph={graph_digest(graph)}",
+        f"graph={graph_part}",
         f"{_placement_token(spec.placement, spec.placement_seed)}",
     ]
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()

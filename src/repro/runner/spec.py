@@ -201,6 +201,13 @@ class RunSpec:
     #: the cache key: an instrumented run carries its timeline in the
     #: cached RunResult, so it must never alias an uninstrumented entry.
     obs: Optional[ObsConfig] = None
+    #: Pre-computed graph version digest.  When set, the cache key uses
+    #: it verbatim instead of digesting built arrays -- streaming
+    #: session jobs key on the session's rolling version digest (base
+    #: digest chained with every applied delta batch), so the graph is
+    #: never materialized just to admit a job and two versions of one
+    #: resident graph can never alias.
+    graph_digest: Optional[str] = None
 
     def resolve_graph(self) -> CSRGraph:
         if isinstance(self.graph, GraphSpec):

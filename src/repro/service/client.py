@@ -33,8 +33,11 @@ from repro.errors import (
     RateLimitedError,
     ServiceError,
     ServiceUnavailableError,
+    SessionStateError,
+    StreamError,
     ThrottledError,
     UnknownJobError,
+    UnknownSessionError,
     UnknownWorkerError,
 )
 from repro.obs.trace_context import current, inject_headers
@@ -119,12 +122,22 @@ class ServiceClient:
                 return UnknownWorkerError(
                     payload.get("worker_id", message)
                 )
+            if payload.get("error") == "unknown_session":
+                return UnknownSessionError(
+                    payload.get("session_id", message)
+                )
             return UnknownJobError(payload.get("job_id", message))
         if exc.code == 409:
+            if payload.get("error") == "session_state":
+                return SessionStateError(
+                    message, state=payload.get("state", "")
+                )
             return JobStateError(message, state=payload.get("state", ""))
         if exc.code == 503:
             return ServiceUnavailableError(message)
         if exc.code == 400:
+            if payload.get("error") == "bad_delta":
+                return StreamError(message)
             return JobSpecError(message)
         return ServiceError(f"HTTP {exc.code}: {message}")
 
@@ -224,6 +237,88 @@ class ServiceClient:
             timeout=timeout + 15.0,
         )
         return payload["events"], int(payload["next"]), payload["state"]
+
+    # -- streaming session endpoints ------------------------------------
+
+    def create_session(
+        self,
+        graph: str,
+        seed: int = 42,
+        client: str = "anonymous",
+    ) -> Dict[str, Any]:
+        """Pin a base graph at the service; returns the session record."""
+        with trace_span("client.session", graph=graph):
+            return self._request(
+                "POST",
+                "/v1/sessions",
+                body={"graph": graph, "seed": int(seed), "client": client},
+            )["session"]
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/sessions")["sessions"]
+
+    def session(self, session_id: str) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/v1/sessions/{session_id}"
+        )["session"]
+
+    def close_session(self, session_id: str) -> Dict[str, Any]:
+        return self._request(
+            "DELETE", f"/v1/sessions/{session_id}"
+        )["session"]
+
+    def apply_delta(
+        self,
+        session_id: str,
+        inserts: Optional[List[List[int]]] = None,
+        deletes: Optional[List[List[int]]] = None,
+    ) -> Dict[str, Any]:
+        """Append one delta batch; returns the advanced session record."""
+        with trace_span("client.delta", session=session_id):
+            return self._request(
+                "POST",
+                f"/v1/sessions/{session_id}/deltas",
+                body={
+                    "inserts": [list(e) for e in (inserts or [])],
+                    "deletes": [list(e) for e in (deletes or [])],
+                },
+            )["session"]
+
+    def compact_session(self, session_id: str) -> Dict[str, Any]:
+        with trace_span("client.compact", session=session_id):
+            return self._request(
+                "POST", f"/v1/sessions/{session_id}/compact"
+            )["session"]
+
+    def session_submit(
+        self,
+        session_id: str,
+        workload: str = "pr",
+        mode: str = "incremental",
+        source: Optional[int] = None,
+        client: str = "anonymous",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a query against the session's current version.
+
+        Traced like :meth:`submit`: the ``client.submit`` span roots the
+        distributed trace, and the server inherits it from the request
+        header so the session run's spans stitch underneath.
+        """
+        with trace_span(
+            "client.submit", client=client, session=session_id
+        ):
+            body: Dict[str, Any] = {
+                "workload": workload,
+                "mode": mode,
+                "client": client,
+                "priority": int(priority),
+            }
+            if source is not None:
+                body["source"] = int(source)
+            return self._request(
+                "POST", f"/v1/sessions/{session_id}/jobs", body=body
+            )["job"]
 
     # -- fleet / worker endpoints ---------------------------------------
 

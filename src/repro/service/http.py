@@ -60,8 +60,11 @@ from repro.errors import (
     RateLimitedError,
     ReproError,
     ServiceUnavailableError,
+    SessionStateError,
+    StreamError,
     ThrottledError,
     UnknownJobError,
+    UnknownSessionError,
     UnknownWorkerError,
 )
 from repro.obs import prom
@@ -109,11 +112,23 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
 
     The raw per-vertex ``result`` array is omitted -- it can be
     millions of entries; clients that need values recompute locally or
-    read the shared cache.  Everything metric-shaped is included,
-    timeline included when the run was instrumented.
+    read the shared cache.  ``result_sha256`` fingerprints the array so
+    two jobs' answers can be compared for exact equality (the streaming
+    smoke checks incremental == cold this way) without shipping it.
+    Everything metric-shaped is included, timeline included when the
+    run was instrumented.
     """
+    import hashlib
+
+    try:
+        result_sha256 = hashlib.sha256(
+            result.result.tobytes()
+        ).hexdigest()
+    except Exception:
+        result_sha256 = None
     return _jsonable(
         {
+            "result_sha256": result_sha256,
             "workload": result.workload,
             "system": result.system,
             "num_vertices": result.num_vertices,
@@ -148,11 +163,15 @@ class ServiceHTTP:
         store: JobStore,
         cache: Optional[RunCache],
         registry=None,
+        sessions=None,
     ) -> None:
         self.scheduler = scheduler
         self.store = store
         self.cache = cache
         self.registry = registry
+        #: Optional :class:`~repro.stream.session.SessionManager`
+        #: backing the ``/v1/sessions`` routes.
+        self.sessions = sessions
         #: Monotonic birth stamp backing ``/healthz``'s
         #: ``uptime_seconds``; :meth:`ReproService.start` re-stamps it
         #: when the listener actually binds.
@@ -228,9 +247,17 @@ class ServiceHTTP:
         except UnknownJobError as exc:
             return 404, {"error": "unknown_job", "message": str(exc),
                          "job_id": exc.job_id}, {}
+        except UnknownSessionError as exc:
+            return 404, {"error": "unknown_session", "message": str(exc),
+                         "session_id": exc.session_id}, {}
         except JobStateError as exc:
             return 409, {"error": "job_state", "message": str(exc),
                          "state": exc.state}, {}
+        except SessionStateError as exc:
+            return 409, {"error": "session_state", "message": str(exc),
+                         "state": exc.state}, {}
+        except StreamError as exc:
+            return 400, {"error": "bad_delta", "message": str(exc)}, {}
         except ServiceUnavailableError as exc:
             return 503, {"error": "draining", "message": str(exc)}, {}
         except JobSpecError as exc:
@@ -339,6 +366,29 @@ class ServiceHTTP:
                 return self._result(job_id)
             if tail == "events" and method == "GET":
                 return await self._events(job_id, query)
+        if path == "/v1/sessions":
+            if method == "POST":
+                return await self._create_session(body)
+            if method == "GET":
+                return self._list_sessions()
+            raise _HttpError(405, "method", f"{method} not allowed here")
+        if path.startswith("/v1/sessions/"):
+            rest = path[len("/v1/sessions/"):]
+            session_id, _, tail = rest.partition("/")
+            if not session_id:
+                raise _HttpError(404, "not_found", f"no route {path!r}")
+            if not tail:
+                if method == "GET":
+                    return self._get_session(session_id)
+                if method == "DELETE":
+                    return await self._close_session(session_id)
+                raise _HttpError(405, "method", f"{method} not allowed here")
+            if tail == "deltas" and method == "POST":
+                return await self._apply_delta(session_id, body)
+            if tail == "compact" and method == "POST":
+                return await self._compact_session(session_id)
+            if tail == "jobs" and method == "POST":
+                return await self._submit_session_job(session_id, body)
         if path == "/v1/workers":
             if method == "POST":
                 return self._register_worker(body)
@@ -404,6 +454,7 @@ class ServiceHTTP:
             "service": family("service."),
             "graph_store": family("graph_store."),
             "fleet": family("fleet."),
+            "stream": family("stream."),
             "scheduler": self.scheduler.snapshot(),
         }
         if self.registry is not None:
@@ -466,6 +517,153 @@ class ServiceHTTP:
             "job": job.to_dict(),
             "result": run_result_to_dict(result),
         }
+
+    # -- streaming sessions --------------------------------------------
+
+    def _need_sessions(self):
+        if self.sessions is None:
+            raise _HttpError(
+                404, "no_sessions",
+                "this service has no streaming session manager",
+            )
+        return self.sessions
+
+    async def _create_session(
+        self, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        sessions = self._need_sessions()
+        if not isinstance(body, dict) or "graph" not in body:
+            raise JobSpecError(
+                "POST /v1/sessions needs a JSON body with 'graph'"
+            )
+        graph = str(body["graph"])
+        try:
+            seed = int(body.get("seed", 42))
+        except (TypeError, ValueError):
+            raise JobSpecError("seed must be an integer") from None
+        client = str(body.get("client", "anonymous"))
+        loop = asyncio.get_running_loop()
+        ctx = current()
+
+        def build():
+            # Executor thread: re-join the request's trace explicitly.
+            with activate(ctx):
+                return sessions.create(graph, seed=seed, client=client)
+
+        session = await loop.run_in_executor(None, build)
+        return 201, {"session": session.to_dict()}
+
+    def _list_sessions(self) -> Tuple[int, Dict[str, Any]]:
+        sessions = self._need_sessions()
+        return 200, {
+            "sessions": [s.to_dict() for s in sessions.store.sessions()]
+        }
+
+    def _get_session(self, session_id: str) -> Tuple[int, Dict[str, Any]]:
+        sessions = self._need_sessions()
+        return 200, {"session": sessions.store.get(session_id).to_dict()}
+
+    async def _close_session(
+        self, session_id: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        sessions = self._need_sessions()
+        session = sessions.close(session_id)
+        return 200, {"session": session.to_dict()}
+
+    async def _apply_delta(
+        self, session_id: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        from repro.stream.delta import EdgeDeltaBatch
+
+        sessions = self._need_sessions()
+        if not isinstance(body, dict):
+            raise JobSpecError(
+                "POST /v1/sessions/<id>/deltas needs a JSON object body"
+            )
+        batch = EdgeDeltaBatch.from_dict(
+            body["batch"] if "batch" in body else body
+        )
+        loop = asyncio.get_running_loop()
+        ctx = current()
+
+        def apply():
+            with activate(ctx):
+                return sessions.apply(session_id, batch)
+
+        session = await loop.run_in_executor(None, apply)
+        return 200, {"session": session.to_dict()}
+
+    async def _compact_session(
+        self, session_id: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        sessions = self._need_sessions()
+        loop = asyncio.get_running_loop()
+        ctx = current()
+
+        def compact():
+            with activate(ctx):
+                return sessions.compact(session_id)
+
+        session = await loop.run_in_executor(None, compact)
+        return 200, {"session": session.to_dict()}
+
+    async def _submit_session_job(
+        self, session_id: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Admit one query pinned to the session's *current* version.
+
+        The server (not the client) stamps the version digest and
+        resolves the default BFS source from the resident base graph,
+        so a resubmission at an unchanged version digests to the same
+        cache key and resolves as a pure cache hit.
+        """
+        sessions = self._need_sessions()
+        if not isinstance(body, dict):
+            raise JobSpecError(
+                "POST /v1/sessions/<id>/jobs needs a JSON object body"
+            )
+        workload = str(body.get("workload", "pr"))
+        mode = str(body.get("mode", "incremental"))
+        raw_source = body.get("source")
+        try:
+            source = None if raw_source is None else int(raw_source)
+        except (TypeError, ValueError):
+            raise JobSpecError("source must be an integer") from None
+        loop = asyncio.get_running_loop()
+        ctx = current()
+
+        def prepare():
+            with activate(ctx):
+                record = sessions.store.get(session_id)
+                overlay = sessions.overlay(session_id)
+                resolved = sessions.resolve_job_source(
+                    session_id, workload, source
+                )
+                return record, overlay.version_digest, resolved
+
+        record, digest, resolved = await loop.run_in_executor(None, prepare)
+        spec = JobSpec(
+            workload=workload,
+            graph=record.graph,
+            seed=record.seed,
+            source=resolved,
+            session=session_id,
+            graph_digest=digest,
+            mode=mode,
+        )
+        if spec.trace is None:
+            if ctx is not None:
+                spec = dataclasses.replace(spec, trace=ctx.traceparent())
+        client = str(body.get("client", "anonymous"))
+        try:
+            priority = int(body.get("priority", 0))
+        except (TypeError, ValueError):
+            raise JobSpecError("priority must be an integer") from None
+        job = await self.scheduler.submit(
+            spec, client=client, priority=priority
+        )
+        status = 200 if job.cached else 201
+        return status, {"job": job.to_dict()}
 
     # -- fleet membership ----------------------------------------------
 
@@ -594,8 +792,11 @@ class ReproService:
     ) -> None:
         from repro.service.fleet import FleetDispatcher, TenantQuotas
         from repro.service.registry import WorkerRegistry
+        from repro.stream.session import SessionManager, SessionStore
 
         self.store = JobStore(service_dir)
+        self.session_store = SessionStore(service_dir)
+        self.sessions = SessionManager(self.session_store)
         self.runner = (
             runner
             if runner is not None
@@ -625,10 +826,12 @@ class ReproService:
             quotas=quotas,
             reap_interval=reap_interval,
             batch_limit=batch_limit,
+            sessions=self.sessions,
         )
         self.http = ServiceHTTP(
             self.scheduler, self.store, self.runner.cache,
             registry=self.registry,
+            sessions=self.sessions,
         )
         self.drain_timeout = drain_timeout
         self._stop: Optional[asyncio.Event] = None
@@ -686,5 +889,6 @@ class ReproService:
             await self._server.wait_closed()
         summary = await self.scheduler.drain(timeout=self.drain_timeout)
         self.store.compact()
+        self.session_store.compact()
         trace_event("service.stop", **summary)
         return summary

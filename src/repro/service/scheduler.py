@@ -157,9 +157,15 @@ class JobScheduler:
         quotas=None,
         reap_interval: Optional[float] = None,
         batch_limit: int = 1,
+        sessions=None,
     ) -> None:
         self.store = store
         self.runner = runner if runner is not None else SweepRunner(workers=1)
+        #: Optional :class:`~repro.stream.session.SessionManager`; jobs
+        #: whose spec names a session execute against its resident
+        #: overlay (always locally -- the overlay lives in this
+        #: process, so fleet dispatch and batch lanes skip them).
+        self.sessions = sessions
         self.max_queue_depth = max(1, int(max_queue_depth))
         self.job_workers = max(1, int(job_workers))
         self.batch_limit = max(1, int(batch_limit))
@@ -459,6 +465,8 @@ class JobScheduler:
                 job = self.store.get(job_id)
             except Exception:
                 continue
+            if job.spec.session is not None:
+                continue  # session jobs run solo against their overlay
             if (job.spec.graph, job.spec.seed) == lane:
                 self._queued.remove(job_id)
                 mates.append(job)
@@ -480,8 +488,12 @@ class JobScheduler:
                 if job is None:
                     continue
                 mates: List[Job] = []
-                if self.batch_limit > 1 and not (
-                    self.fleet is not None and self.fleet.has_workers()
+                if (
+                    self.batch_limit > 1
+                    and job.spec.session is None
+                    and not (
+                        self.fleet is not None and self.fleet.has_workers()
+                    )
                 ):
                     mates = self._pick_batchmates(job)
             if mates:
@@ -522,7 +534,11 @@ class JobScheduler:
             trace_event("service.dispatch", job=job.id, client=job.client,
                         priority=job.priority)
             try:
-                if self.fleet is not None and self.fleet.has_workers():
+                if (
+                    self.fleet is not None
+                    and self.fleet.has_workers()
+                    and job.spec.session is None
+                ):
                     try:
                         outcome = await loop.run_in_executor(
                             None, self.fleet.dispatch, job
@@ -724,6 +740,22 @@ class JobScheduler:
         if delay_ms:
             # Chaos/test knob: hold the job in flight (see module doc).
             time.sleep(max(0.0, float(delay_ms)) / 1000.0)
+        if job.spec.session is not None and self.sessions is not None:
+            # Session query: answered by the resident overlay in this
+            # process; the result still lands in the run cache under the
+            # version-digest key so a resubmit at the same version is a
+            # pure cache hit.
+            with activate(parse_traceparent(job.spec.trace)):
+                with trace_span("service.run", job=job.id):
+                    result = self.sessions.execute_job(job.spec)
+            if job.key is None:
+                job.key = spec_key(job.spec.to_run_spec())
+            if self.runner.cache is not None:
+                try:
+                    self.runner.cache.store(job.key, result)
+                except OSError:
+                    FAULT_COUNTERS.increment("sweep.cache_errors")
+            return result
         run_spec = job.spec.to_run_spec()
         if job.key is None:
             # Recovered from a crash that hit before admission finished

@@ -116,8 +116,39 @@ class JobSpec:
     #: and the fleet dispatch hop; NOT part of the lowered RunSpec, so
     #: traced and untraced submissions share one cache key.
     trace: Optional[str] = None
+    #: Resident graph session this job queries (see
+    #: :mod:`repro.stream.session`).  Session jobs run against the
+    #: service's resident overlay instead of building a graph, and
+    #: ``graph_digest`` pins the session *version* the job was admitted
+    #: at -- the scheduler refuses to run it at any other version, and
+    #: the digest keys the run cache so versions never alias.
+    session: Optional[str] = None
+    graph_digest: Optional[str] = None
+    #: Session query mode: ``incremental`` (delta-seeded update from
+    #: the resident workload state) or ``cold`` (from-scratch on the
+    #: materialized post-delta graph).  Part of the cache key via
+    #: ``workload_kwargs``.
+    mode: str = "incremental"
 
     def __post_init__(self) -> None:
+        if self.session is not None:
+            from repro.stream.session import STREAM_MODES, STREAM_WORKLOADS
+
+            if self.workload not in STREAM_WORKLOADS:
+                raise JobSpecError(
+                    f"session jobs support workloads "
+                    f"{', '.join(STREAM_WORKLOADS)}; got {self.workload!r}"
+                )
+            if self.mode not in STREAM_MODES:
+                raise JobSpecError(
+                    f"unknown session query mode {self.mode!r}; choose "
+                    f"from {', '.join(STREAM_MODES)}"
+                )
+            if not self.graph_digest:
+                raise JobSpecError(
+                    "session jobs need a graph_digest (the session "
+                    "version the job is pinned to)"
+                )
         if self.workload not in _KNOWN_WORKLOADS:
             raise JobSpecError(
                 f"unknown workload {self.workload!r}; choose from "
@@ -176,7 +207,26 @@ class JobSpec:
         must be resolved; system configs are constructed exactly the
         way the CLI constructs them, so keys line up with ``repro
         run`` / ``repro sweep``.
+
+        Session jobs lower differently: the graph stays a bare recipe
+        (never built -- the overlay is resident at the service), the
+        spec carries the session's version digest for cache keying,
+        ``system`` is ``"stream"``, and the query mode rides in
+        ``workload_kwargs`` so incremental and cold answers key apart.
         """
+        if self.session is not None:
+            return RunSpec(
+                self.workload,
+                GraphSpec(self.graph, seed=self.seed),
+                system="stream",
+                source=self.source,
+                max_quanta=self.max_quanta,
+                workload_kwargs={
+                    **dict(self.workload_kwargs),
+                    "mode": self.mode,
+                },
+                graph_digest=self.graph_digest,
+            )
         gspec = GraphSpec(
             self.graph,
             seed=self.seed,

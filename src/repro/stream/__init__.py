@@ -1,0 +1,54 @@
+"""Streaming dynamic graphs: delta batches, overlays, incremental runs.
+
+The streaming subsystem adds the repo's first mutable-graph code path
+while preserving the immutability discipline everywhere else:
+
+- :mod:`repro.stream.delta` -- validated, content-addressed
+  :class:`EdgeDeltaBatch` insert/delete sets;
+- :mod:`repro.stream.overlay` -- :class:`DeltaOverlayGraph`, per-vertex
+  deltas over a read-only base CSR, with ``compact()`` publishing
+  merged versions through the content-addressed graph store;
+- :mod:`repro.stream.incremental` -- incremental BFS / CC / PageRank
+  seeded only from delta-touched vertices, converging to the cold
+  fixed point on the post-delta graph;
+- :mod:`repro.stream.session` -- journaled resident sessions the job
+  service exposes as ``/v1/sessions``.
+"""
+
+from repro.stream.delta import EdgeDeltaBatch, net_delta
+from repro.stream.incremental import (
+    BfsState,
+    CCState,
+    PRState,
+    cold_answer,
+    incremental_update,
+    push_pagerank,
+    seed_state,
+)
+from repro.stream.overlay import DeltaOverlayGraph, chain_digest
+from repro.stream.session import (
+    STREAM_MODES,
+    STREAM_WORKLOADS,
+    SessionManager,
+    SessionRecord,
+    SessionStore,
+)
+
+__all__ = [
+    "EdgeDeltaBatch",
+    "net_delta",
+    "BfsState",
+    "CCState",
+    "PRState",
+    "cold_answer",
+    "incremental_update",
+    "push_pagerank",
+    "seed_state",
+    "DeltaOverlayGraph",
+    "chain_digest",
+    "STREAM_MODES",
+    "STREAM_WORKLOADS",
+    "SessionManager",
+    "SessionRecord",
+    "SessionStore",
+]

@@ -1,0 +1,590 @@
+"""Resident graph sessions: journaled delta streams over pinned graphs.
+
+A *session* pins one base graph at the service and accepts a stream of
+:class:`~repro.stream.delta.EdgeDeltaBatch` updates against it.  The
+durable half (:class:`SessionStore`) is a JSONL journal with the same
+idiom as the job store -- session records are last-write-wins, delta
+records are append-only and replayable, recovery tolerates one torn
+trailing line, and compaction is an atomic rewrite.  The resident half
+(:class:`SessionManager`) keeps a live
+:class:`~repro.stream.overlay.DeltaOverlayGraph` plus per-workload
+incremental states per session, lazily rebuilt after a restart by
+replaying the journal.
+
+Version discipline: every applied batch advances the session's version
+digest (``v_{n+1} = sha256(v_n : batch_digest)``); queries carry the
+digest they were admitted at, and :meth:`SessionManager.execute_job`
+refuses a stale digest with
+:class:`~repro.errors.SessionStateError` -- a cached result can never
+alias a different graph version.
+
+Pruning contract: the session pins its base artifact digest (and, after
+compaction, the compacted artifact's digest) in the
+:mod:`repro.graph.store` protection registry, so a concurrent LRU
+sweep can never evict an artifact a live session still maps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.metrics import RunResult
+from repro.errors import (
+    SessionStateError,
+    StreamError,
+    UnknownSessionError,
+)
+from repro.graph.store import (
+    GraphStore,
+    protect_digest,
+    spec_digest,
+    unprotect_digest,
+)
+from repro.obs.counters import FAULT_COUNTERS
+from repro.obs.tracing import trace_span
+from repro.runner.spec import GraphSpec, resolve_source
+from repro.stream.delta import EdgeDeltaBatch, net_delta
+from repro.stream.incremental import (
+    BfsState,
+    cold_answer,
+    incremental_update,
+    seed_state,
+)
+from repro.stream.overlay import DeltaOverlayGraph
+
+#: Journal format version (header record of the session journal).
+STREAM_SCHEMA = 1
+
+#: Workloads a session can answer (topology-only, unweighted).
+STREAM_WORKLOADS = ("bfs", "cc", "pr")
+
+#: Query execution modes.
+STREAM_MODES = ("incremental", "cold")
+
+OPEN = "open"
+
+
+def new_session_id() -> str:
+    return "s-" + uuid.uuid4().hex[:12]
+
+
+@dataclass
+class SessionRecord:
+    """One session's durable record (everything the journal persists)."""
+
+    id: str
+    graph: str
+    seed: int = 42
+    state: str = OPEN
+    client: str = "anonymous"
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    #: Store artifact digest of the pinned base graph (version ``v_0``).
+    base_digest: str = ""
+    #: Rolling version digest after the last applied batch.
+    version_digest: str = ""
+    #: Number of delta batches applied.
+    delta_seq: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SessionRecord":
+        payload = dict(data)
+        names = {f.name for f in dataclasses.fields(cls)}
+        for name in set(payload) - names:  # forward compatibility
+            payload.pop(name)
+        return cls(**payload)
+
+
+class SessionStore:
+    """Append-only JSONL journal of sessions and their delta batches.
+
+    Two record kinds share the journal: ``session`` records are
+    last-write-wins per id (like job records), while ``delta`` records
+    are the session's replayable history -- compaction keeps every
+    delta of a live session and drops everything belonging to removed
+    ones.  Thread-safe: the HTTP layer appends from executor threads.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        compact_min_records: int = 256,
+        compact_slack: float = 4.0,
+    ) -> None:
+        self.root = root
+        self.path = os.path.join(root, "sessions.jsonl")
+        self.compact_min_records = compact_min_records
+        self.compact_slack = compact_slack
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, SessionRecord] = {}
+        self._deltas: Dict[str, List[Dict[str, Any]]] = {}
+        self._records_on_disk = 0
+        self._load()
+
+    # -- loading --------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from a hard kill
+            self._records_on_disk += 1
+            op = record.get("op")
+            try:
+                if op == "session":
+                    session = SessionRecord.from_dict(record["session"])
+                    self._sessions[session.id] = session
+                elif op == "delta":
+                    sid = record["session"]
+                    self._deltas.setdefault(sid, []).append(
+                        dict(record["batch"])
+                    )
+                elif op == "remove":
+                    sid = record["session"]
+                    self._sessions.pop(sid, None)
+                    self._deltas.pop(sid, None)
+            except Exception:
+                continue  # one bad record must not poison recovery
+
+    # -- journal plumbing ----------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        fresh = not os.path.exists(self.path)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as f:
+            if fresh:
+                header = json.dumps(
+                    {"op": "header", "schema": STREAM_SCHEMA},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                f.write(header + "\n")
+                self._records_on_disk += 1
+            f.write(line + "\n")
+        self._records_on_disk += 1
+        self._maybe_compact()
+
+    def _live_records(self) -> int:
+        deltas = sum(len(d) for d in self._deltas.values())
+        return 1 + len(self._sessions) + deltas
+
+    def _maybe_compact(self) -> None:
+        threshold = max(
+            self.compact_min_records,
+            int(self._live_records() * self.compact_slack),
+        )
+        if self._records_on_disk <= threshold:
+            return
+        self._compact()
+
+    def _compact(self) -> None:
+        """Atomic rewrite: live sessions plus their full delta history."""
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".sessions-", suffix=".jsonl"
+        )
+
+        def dump(record: Dict[str, Any]) -> str:
+            return (
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(dump({"op": "header", "schema": STREAM_SCHEMA}))
+                for session in sorted(
+                    self._sessions.values(), key=lambda s: s.created_at
+                ):
+                    f.write(dump({"op": "session", "session": session.to_dict()}))
+                    for seq, batch in enumerate(
+                        self._deltas.get(session.id, []), start=1
+                    ):
+                        f.write(
+                            dump(
+                                {
+                                    "op": "delta",
+                                    "session": session.id,
+                                    "seq": seq,
+                                    "batch": batch,
+                                }
+                            )
+                        )
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._records_on_disk = self._live_records()
+
+    def compact(self) -> None:
+        with self._lock:
+            self._compact()
+
+    # -- mutation -------------------------------------------------------
+
+    def create(
+        self,
+        graph: str,
+        seed: int = 42,
+        client: str = "anonymous",
+        base_digest: str = "",
+    ) -> SessionRecord:
+        """Mint and persist a new open session record."""
+        now = time.time()
+        session = SessionRecord(
+            id=new_session_id(),
+            graph=graph,
+            seed=int(seed),
+            state=OPEN,
+            client=client,
+            created_at=now,
+            updated_at=now,
+            base_digest=base_digest,
+            version_digest=base_digest,
+            delta_seq=0,
+        )
+        with self._lock:
+            self._sessions[session.id] = session
+            self._append({"op": "session", "session": session.to_dict()})
+        return session
+
+    def put(self, session: SessionRecord) -> None:
+        session.updated_at = time.time()
+        with self._lock:
+            self._sessions[session.id] = session
+            self._append({"op": "session", "session": session.to_dict()})
+
+    def append_delta(
+        self, session_id: str, seq: int, batch: Dict[str, Any]
+    ) -> None:
+        with self._lock:
+            if session_id not in self._sessions:
+                raise UnknownSessionError(session_id)
+            self._deltas.setdefault(session_id, []).append(dict(batch))
+            self._append(
+                {
+                    "op": "delta",
+                    "session": session_id,
+                    "seq": seq,
+                    "batch": dict(batch),
+                }
+            )
+
+    def remove(self, session_id: str) -> SessionRecord:
+        """Drop a session and its delta history (journaled tombstone)."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is None:
+                raise UnknownSessionError(session_id)
+            self._deltas.pop(session_id, None)
+            self._append({"op": "remove", "session": session_id})
+        return session
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, session_id: str) -> SessionRecord:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(session_id)
+        return session
+
+    def sessions(self) -> List[SessionRecord]:
+        """All sessions, oldest first."""
+        with self._lock:
+            return sorted(
+                self._sessions.values(), key=lambda s: s.created_at
+            )
+
+    def deltas(self, session_id: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            if session_id not in self._sessions:
+                raise UnknownSessionError(session_id)
+            return [dict(b) for b in self._deltas.get(session_id, [])]
+
+
+class SessionManager:
+    """Resident overlays and incremental workload states per session.
+
+    Thread-safe behind one lock: the HTTP layer and the scheduler's
+    executor threads both call in.  Overlays are built lazily -- on the
+    first touch after a restart the journaled batches replay onto a
+    freshly resolved base graph, and the replayed version digest must
+    match the journal's record.
+    """
+
+    def __init__(
+        self, store: SessionStore, graph_store: Optional[GraphStore] = None
+    ) -> None:
+        self.store = store
+        self.graph_store = graph_store or GraphStore()
+        self._lock = threading.Lock()
+        self._overlays: Dict[str, DeltaOverlayGraph] = {}
+        #: (session, workload, source) -> incremental state
+        self._states: Dict[Tuple[str, str, Optional[int]], Any] = {}
+        #: Digests currently pinned against store pruning, per session.
+        self._pins: Dict[str, List[str]] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def create(
+        self, graph: str, seed: int = 42, client: str = "anonymous"
+    ) -> SessionRecord:
+        """Pin a base graph and open a session over it."""
+        gspec = GraphSpec(graph, seed=int(seed))
+        with trace_span("stream.session", graph=graph, seed=int(seed)):
+            base = gspec.build()  # store-backed build (mmap on rebuild)
+        if base.has_weights:
+            raise StreamError(
+                "streaming sessions require an unweighted base graph"
+            )
+        base_digest = spec_digest(gspec)
+        session = self.store.create(
+            graph, seed=int(seed), client=client, base_digest=base_digest
+        )
+        with self._lock:
+            self._overlays[session.id] = DeltaOverlayGraph(
+                base, base_digest=base_digest
+            )
+            protect_digest(base_digest)
+            self._pins[session.id] = [base_digest]
+        FAULT_COUNTERS.increment("stream.sessions_opened")
+        return session
+
+    def close(self, session_id: str) -> SessionRecord:
+        """Tear down a session: journal tombstone, unpin, drop state."""
+        session = self.store.remove(session_id)
+        session.state = "closed"
+        with self._lock:
+            self._overlays.pop(session_id, None)
+            for key in [k for k in self._states if k[0] == session_id]:
+                self._states.pop(key, None)
+            for digest in self._pins.pop(session_id, []):
+                unprotect_digest(digest)
+        return session
+
+    # -- overlay access -------------------------------------------------
+
+    def overlay(self, session_id: str) -> DeltaOverlayGraph:
+        """The session's resident overlay (replaying the journal if cold)."""
+        session = self.store.get(session_id)
+        with self._lock:
+            overlay = self._overlays.get(session_id)
+            if overlay is not None:
+                return overlay
+            overlay = self._rebuild(session)
+            self._overlays[session_id] = overlay
+            if session_id not in self._pins:
+                protect_digest(session.base_digest)
+                self._pins[session_id] = [session.base_digest]
+            return overlay
+
+    def _rebuild(self, session: SessionRecord) -> DeltaOverlayGraph:
+        """Replay the journaled batches onto a freshly built base."""
+        gspec = GraphSpec(session.graph, seed=session.seed)
+        base = gspec.build()
+        overlay = DeltaOverlayGraph(base, base_digest=session.base_digest)
+        for payload in self.store.deltas(session.id):
+            overlay.apply(EdgeDeltaBatch.from_dict(payload))
+        if overlay.version_digest != session.version_digest:
+            raise SessionStateError(
+                f"session {session.id} journal replay diverged "
+                f"(journal at {overlay.version_digest[:12]}, record at "
+                f"{session.version_digest[:12]})",
+                state="diverged",
+            )
+        return overlay
+
+    # -- mutation -------------------------------------------------------
+
+    def apply(
+        self, session_id: str, batch: EdgeDeltaBatch
+    ) -> SessionRecord:
+        """Apply one delta batch: overlay first, then the journal."""
+        session = self.store.get(session_id)
+        overlay = self.overlay(session_id)
+        with trace_span(
+            "stream.delta",
+            session=session_id,
+            inserts=batch.num_inserts,
+            deletes=batch.num_deletes,
+        ), FAULT_COUNTERS.time_histogram("stream.delta_apply_seconds"):
+            with self._lock:
+                overlay.apply(batch)
+                session.version_digest = overlay.version_digest
+                session.delta_seq = overlay.delta_seq
+            self.store.append_delta(
+                session_id, overlay.delta_seq, batch.to_dict()
+            )
+            self.store.put(session)
+        FAULT_COUNTERS.increment("stream.deltas_applied")
+        FAULT_COUNTERS.increment(
+            "stream.edges_inserted", batch.num_inserts
+        )
+        FAULT_COUNTERS.increment("stream.edges_deleted", batch.num_deletes)
+        return session
+
+    def compact(self, session_id: str) -> SessionRecord:
+        """Merge the overlay into a published artifact and re-base."""
+        session = self.store.get(session_id)
+        overlay = self.overlay(session_id)
+        with trace_span(
+            "stream.compact",
+            session=session_id,
+            dirty_edges=overlay.dirty_edges,
+        ), FAULT_COUNTERS.time_histogram("stream.compact_seconds"):
+            with self._lock:
+                # Pin the about-to-be-published digest *before* the
+                # publish so a concurrent LRU prune can never evict it
+                # in the window between publish and first map.
+                digest = overlay.version_digest
+                pins = self._pins.setdefault(session_id, [])
+                if digest not in pins:
+                    protect_digest(digest)
+                    pins.append(digest)
+                previous = [
+                    d
+                    for d in pins
+                    if d not in (session.base_digest, digest)
+                ]
+                overlay.compact(self.graph_store)
+                for stale in previous:
+                    unprotect_digest(stale)
+                    pins.remove(stale)
+        FAULT_COUNTERS.increment("stream.compactions")
+        self.store.put(session)
+        return session
+
+    # -- queries --------------------------------------------------------
+
+    def resolve_job_source(
+        self, session_id: str, workload: str, source: Optional[int]
+    ) -> Optional[int]:
+        """Deterministic default source from the session's *base* graph.
+
+        Resolved against the base (not the overlay) so the default is
+        stable across versions of one session -- resubmitting the same
+        query at a new version changes only the version digest in the
+        cache key, never the source.
+        """
+        overlay = self.overlay(session_id)
+        return resolve_source(overlay.base, workload, source)
+
+    def execute_job(self, spec: Any) -> RunResult:
+        """Run one session query described by a (duck-typed) job spec.
+
+        ``spec`` carries ``session``, ``graph_digest``, ``workload``,
+        ``source``, and ``workload_kwargs['mode']`` -- this module never
+        imports :mod:`repro.service` (the service imports us).  The
+        spec's pinned version digest must match the overlay's head:
+        deltas applied between admission and execution make the result
+        ambiguous, so the query is refused instead.
+        """
+        session_id = spec.session
+        workload = spec.workload
+        mode = getattr(spec, "mode", None) or dict(
+            spec.workload_kwargs or {}
+        ).get("mode", "incremental")
+        overlay = self.overlay(session_id)
+        with trace_span(
+            "stream.query",
+            session=session_id,
+            workload=workload,
+            mode=mode,
+        ), FAULT_COUNTERS.time_histogram("stream.query_seconds"):
+            with self._lock:
+                if (
+                    spec.graph_digest
+                    and spec.graph_digest != overlay.version_digest
+                ):
+                    raise SessionStateError(
+                        f"session {session_id} is at version "
+                        f"{overlay.version_digest[:12]}, job was admitted "
+                        f"at {str(spec.graph_digest)[:12]}",
+                        state="version_mismatch",
+                    )
+                start = time.perf_counter()
+                source = spec.source if workload == "bfs" else None
+                if workload == "bfs" and source is None:
+                    source = resolve_source(overlay.base, workload, None)
+                if mode == "cold":
+                    answer = cold_answer(
+                        workload, overlay.materialize(), source=source
+                    )
+                    stats: Dict[str, int] = {}
+                    FAULT_COUNTERS.increment("stream.queries_cold")
+                else:
+                    answer, stats = self._incremental(
+                        session_id, workload, source, overlay
+                    )
+                    FAULT_COUNTERS.increment("stream.queries_incremental")
+                    if stats.get("fallback"):
+                        FAULT_COUNTERS.increment("stream.fallbacks")
+                elapsed = time.perf_counter() - start
+        return RunResult(
+            workload=workload,
+            system="stream",
+            num_vertices=overlay.num_vertices,
+            num_edges=overlay.num_edges,
+            result=np.asarray(answer),
+            elapsed_seconds=elapsed,
+            quanta=int(stats.get("rounds", 1)),
+            edges_traversed=int(
+                stats.get("relaxations", stats.get("pushes", 0))
+            ),
+            messages_sent=0,
+            messages_processed=0,
+            useful_messages=0,
+            redundant_messages=0,
+            coalesced_messages=0,
+            activations=int(stats.get("pushes", stats.get("relaxations", 0))),
+            breakdown={
+                "delta_seq": float(overlay.delta_seq),
+                "fallback": float(stats.get("fallback", 0)),
+            },
+        )
+
+    def _incremental(
+        self,
+        session_id: str,
+        workload: str,
+        source: Optional[int],
+        overlay: DeltaOverlayGraph,
+    ) -> Tuple[np.ndarray, Dict[str, int]]:
+        """Answer from the cached state, catching it up to the head."""
+        key = (session_id, workload, source)
+        state = self._states.get(key)
+        if state is None:
+            state, answer = seed_state(workload, overlay, source=source)
+            self._states[key] = state
+            return answer, {"seeded": 1}
+        if workload == "bfs" and not isinstance(state, BfsState):
+            raise SessionStateError("bfs state type mismatch")
+        inserts, deletes = net_delta(overlay.batches[state.seq :])
+        return incremental_update(workload, overlay, state, inserts, deletes)

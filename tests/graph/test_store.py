@@ -219,6 +219,54 @@ class TestEviction:
         assert removed == 0
         assert store.load(protected) is not None
 
+    def test_registry_protection_blocks_prune(self, store):
+        """Digests pinned by live sessions survive LRU pruning even
+        when the prune call itself names no protected digest."""
+        from repro.graph.store import protect_digest, unprotect_digest
+
+        spec_a = GraphSpec("rmat:8:4", seed=1)
+        store.get_or_build(spec_a, spec_a.build_uncached)
+        pinned = spec_digest(spec_a)
+        protect_digest(pinned)
+        try:
+            removed = store.prune(0)
+            assert removed == 0
+            assert store.load(pinned) is not None
+        finally:
+            unprotect_digest(pinned)
+        assert store.prune(0) == 1
+        assert store.load(pinned) is None
+
+    def test_registry_protection_is_refcounted(self, store):
+        from repro.graph.store import (
+            protect_digest,
+            protected_digests,
+            unprotect_digest,
+        )
+
+        protect_digest("d1")
+        protect_digest("d1")
+        unprotect_digest("d1")
+        assert "d1" in protected_digests()
+        unprotect_digest("d1")
+        assert "d1" not in protected_digests()
+        unprotect_digest("d1")  # over-release is harmless
+        assert "d1" not in protected_digests()
+
+    def test_session_pins_base_artifact(self, store, tmp_path):
+        """A live streaming session's base digest is protected; closing
+        the session releases it."""
+        from repro.graph.store import protected_digests
+        from repro.stream.session import SessionManager, SessionStore
+
+        manager = SessionManager(
+            SessionStore(str(tmp_path / "svc")), graph_store=store
+        )
+        session = manager.create("rmat:8:4", seed=1)
+        assert session.base_digest in protected_digests()
+        manager.close(session.id)
+        assert session.base_digest not in protected_digests()
+
     def test_env_budget_applies_after_build(self, store, monkeypatch):
         monkeypatch.setenv("REPRO_GRAPH_STORE_MAX_BYTES", "1")
         spec_a = GraphSpec("rmat:8:4", seed=1)

@@ -1,0 +1,231 @@
+"""Resident graph sessions over HTTP: lifecycle, deltas, incremental
+vs cold query equivalence, version-keyed caching, journal recovery."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    SessionStateError,
+    StreamError,
+    UnknownSessionError,
+)
+from repro.service.client import ServiceClient
+from repro.service.http import ReproService
+
+from tests.service.test_http import call, http_request, serve
+
+GRAPH = "rmat:8:4"
+
+
+def find_absent_edges(graph_spec: str, count: int, seed: int = 0):
+    """Edge pairs absent from the named base graph (valid inserts)."""
+    from repro.runner.spec import GraphSpec
+
+    graph = GraphSpec(graph_spec).build()
+    rng = np.random.default_rng(seed)
+    edges = []
+    while len(edges) < count:
+        u = int(rng.integers(graph.num_vertices))
+        v = int(rng.integers(graph.num_vertices))
+        nbrs = graph.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        present = i < nbrs.shape[0] and int(nbrs[i]) == v
+        if not present and [u, v] not in edges:
+            edges.append([u, v])
+    return edges
+
+
+class TestSessionLifecycle:
+    def test_create_get_list_close(self, tmp_path):
+        async def body(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            record = await call(client.create_session, GRAPH, 42, "t")
+            assert record["state"] == "open"
+            assert record["graph"] == GRAPH
+            assert record["delta_seq"] == 0
+            assert record["version_digest"] == record["base_digest"]
+            got = await call(client.session, record["id"])
+            assert got["id"] == record["id"]
+            listing = await call(client.sessions)
+            assert [s["id"] for s in listing] == [record["id"]]
+            closed = await call(client.close_session, record["id"])
+            assert closed["state"] == "closed"
+            with pytest.raises(UnknownSessionError):
+                await call(client.session, record["id"])
+
+        serve(tmp_path, body)
+
+    def test_unknown_session_is_404(self, tmp_path):
+        async def body(svc, port):
+            status, payload, _ = await call(
+                http_request, port, "GET", "/v1/sessions/s-nope"
+            )
+            assert status == 404
+            assert payload["error"] == "unknown_session"
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            with pytest.raises(UnknownSessionError):
+                await call(client.apply_delta, "s-nope", [[0, 1]], [])
+
+        serve(tmp_path, body)
+
+    def test_bad_delta_is_400(self, tmp_path):
+        async def body(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            record = await call(client.create_session, GRAPH, 42, "t")
+            with pytest.raises(StreamError, match="duplicate"):
+                await call(
+                    client.apply_delta,
+                    record["id"],
+                    [[0, 1], [0, 1]],
+                    [],
+                )
+            # The session is untouched by the rejected batch.
+            got = await call(client.session, record["id"])
+            assert got["delta_seq"] == 0
+
+        serve(tmp_path, body)
+
+
+class TestDeltasAndQueries:
+    def test_delta_advances_version_and_queries_match(self, tmp_path):
+        inserts = find_absent_edges(GRAPH, 6)
+
+        async def body(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            # Counters are process-global: assert deltas, not totals.
+            base_metrics = (await call(client.metrics))["stream"]
+            record = await call(client.create_session, GRAPH, 42, "t")
+            sid = record["id"]
+            v0 = record["version_digest"]
+            after = await call(client.apply_delta, sid, inserts[:3], [])
+            assert after["delta_seq"] == 1
+            assert after["version_digest"] != v0
+            after2 = await call(client.apply_delta, sid, inserts[3:], [])
+            assert after2["delta_seq"] == 2
+            assert after2["version_digest"] != after["version_digest"]
+
+            shas = {}
+            for mode in ("incremental", "cold"):
+                for workload in ("bfs", "cc", "pr"):
+                    job = await call(
+                        client.session_submit, sid, workload, mode
+                    )
+                    job = await call(client.wait, job["id"])
+                    assert job["state"] == "done", job
+                    payload = await call(client.result, job["id"])
+                    shas[(workload, mode)] = payload["result"][
+                        "result_sha256"
+                    ]
+                    assert payload["result"]["system"] == "stream"
+            for workload in ("bfs", "cc", "pr"):
+                assert (
+                    shas[(workload, "incremental")]
+                    == shas[(workload, "cold")]
+                ), workload
+
+            stream = (await call(client.metrics))["stream"]
+
+            def grew(name, by):
+                return stream[name] - base_metrics.get(name, 0) == by
+
+            assert grew("stream.sessions_opened", 1)
+            assert grew("stream.deltas_applied", 2)
+            assert grew("stream.queries_incremental", 3)
+            assert grew("stream.queries_cold", 3)
+
+        serve(tmp_path, body)
+
+    def test_same_version_resubmit_hits_cache(self, tmp_path):
+        inserts = find_absent_edges(GRAPH, 2)
+
+        async def body(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            sid = (await call(client.create_session, GRAPH, 42, "t"))["id"]
+            await call(client.apply_delta, sid, inserts, [])
+            job = await call(client.session_submit, sid, "pr")
+            job = await call(client.wait, job["id"])
+            assert job["state"] == "done"
+            again = await call(client.session_submit, sid, "pr")
+            assert again.get("cached"), again
+            # A new delta changes the version digest: no stale hit.
+            await call(client.apply_delta, sid, [], [inserts[0]])
+            fresh = await call(client.session_submit, sid, "pr")
+            assert not fresh.get("cached")
+            fresh = await call(client.wait, fresh["id"])
+            assert fresh["state"] == "done"
+
+        serve(tmp_path, body)
+
+    def test_compact_preserves_version_and_cache(self, tmp_path):
+        inserts = find_absent_edges(GRAPH, 3)
+
+        async def body(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            sid = (await call(client.create_session, GRAPH, 42, "t"))["id"]
+            before = await call(client.apply_delta, sid, inserts, [])
+            job = await call(client.session_submit, sid, "cc")
+            job = await call(client.wait, job["id"])
+            assert job["state"] == "done"
+            compacted = await call(client.compact_session, sid)
+            assert (
+                compacted["version_digest"] == before["version_digest"]
+            )
+            again = await call(client.session_submit, sid, "cc")
+            assert again.get("cached"), again
+            metrics = await call(client.metrics)
+            assert metrics["stream"]["stream.compactions"] >= 1
+
+        serve(tmp_path, body)
+
+    def test_closed_session_rejects_work(self, tmp_path):
+        async def body(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            sid = (await call(client.create_session, GRAPH, 42, "t"))["id"]
+            await call(client.close_session, sid)
+            with pytest.raises((UnknownSessionError, SessionStateError)):
+                await call(client.apply_delta, sid, [[0, 1]], [])
+
+        serve(tmp_path, body)
+
+
+class TestJournalRecovery:
+    def test_sessions_survive_restart(self, tmp_path):
+        inserts = find_absent_edges(GRAPH, 4)
+        state: dict = {}
+
+        async def first(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            record = await call(client.create_session, GRAPH, 42, "t")
+            sid = record["id"]
+            await call(client.apply_delta, sid, inserts[:2], [])
+            advanced = await call(client.apply_delta, sid, inserts[2:], [])
+            job = await call(client.session_submit, sid, "pr")
+            job = await call(client.wait, job["id"])
+            assert job["state"] == "done"
+            state["sid"] = sid
+            state["version"] = advanced["version_digest"]
+
+        async def second(svc, port):
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            record = await call(client.session, state["sid"])
+            # The journal replays to the exact same version digest...
+            assert record["version_digest"] == state["version"]
+            assert record["delta_seq"] == 2
+            # ...so a resubmit at that version is a cache hit across
+            # the restart.
+            job = await call(client.session_submit, state["sid"], "pr")
+            assert job.get("cached"), job
+            # And the session remains fully usable.
+            more = find_absent_edges(GRAPH, 8, seed=1)
+            fresh = [e for e in more if e not in inserts][:2]
+            after = await call(
+                client.apply_delta, state["sid"], fresh, []
+            )
+            assert after["delta_seq"] == 3
+
+        serve(tmp_path, first)
+        serve(tmp_path, second)

@@ -1,0 +1,185 @@
+"""Randomized equivalence: incremental workloads == cold recomputation.
+
+The streaming subsystem's central correctness claim is that after any
+sequence of edge-delta batches, the incremental BFS / CC / PageRank
+answers equal a from-scratch computation on the post-delta graph.  This
+suite drives random delta sequences (hypothesis picks the generator,
+shape, seed, and delta mix) through both paths and asserts equality --
+bit-for-bit for BFS/CC, within the residual bound for PR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import rmat, road_grid, uniform_random
+from repro.stream.delta import EdgeDeltaBatch, net_delta
+from repro.stream.incremental import (
+    cold_answer,
+    incremental_update,
+    seed_state,
+)
+from repro.stream.overlay import DeltaOverlayGraph
+
+# Tolerance for PR: d/(1-d) * n * threshold with threshold=1e-12 and
+# n <= 512 is ~3e-9; assert an order looser to stay robust.
+PR_ATOL = 1e-8
+
+
+def build_base(kind: str, seed: int):
+    if kind == "rmat":
+        return rmat(7, 4, seed=seed)
+    if kind == "grid":
+        return road_grid(8, 8, diagonal_fraction=0.0)
+    return uniform_random(96, 400, seed=seed)
+
+
+def random_batch(
+    overlay: DeltaOverlayGraph,
+    rng: np.random.Generator,
+    n_inserts: int,
+    n_deletes: int,
+) -> EdgeDeltaBatch:
+    """A valid batch against the overlay's *current* edge set."""
+    n = overlay.num_vertices
+    inserts = set()
+    attempts = 0
+    while len(inserts) < n_inserts and attempts < 200:
+        attempts += 1
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if not overlay.has_edge(u, v):
+            inserts.add((u, v))
+    deletes = set()
+    attempts = 0
+    while len(deletes) < n_deletes and attempts < 200:
+        attempts += 1
+        u = int(rng.integers(n))
+        nbrs = overlay.neighbors(u)
+        if nbrs.size:
+            pair = (u, int(nbrs[rng.integers(nbrs.size)]))
+            if pair not in inserts:
+                deletes.add(pair)
+    return EdgeDeltaBatch(inserts=sorted(inserts), deletes=sorted(deletes))
+
+
+class TestIncrementalEquivalence:
+    @given(
+        kind=st.sampled_from(["rmat", "grid", "uniform"]),
+        seed=st.integers(0, 999),
+        rounds=st.integers(1, 4),
+        n_inserts=st.integers(0, 12),
+        n_deletes=st.integers(0, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_workloads_match_cold(
+        self, kind, seed, rounds, n_inserts, n_deletes
+    ):
+        base = build_base(kind, seed)
+        overlay = DeltaOverlayGraph(base, base_digest="test")
+        rng = np.random.default_rng(seed)
+        source = int(np.argmax(base.out_degrees()))
+
+        states = {
+            "bfs": seed_state("bfs", overlay, source=source)[0],
+            "cc": seed_state("cc", overlay)[0],
+            "pr": seed_state("pr", overlay)[0],
+        }
+
+        for _ in range(rounds):
+            batch = random_batch(overlay, rng, n_inserts, n_deletes)
+            if batch.empty:
+                continue
+            overlay.apply(batch)
+            merged = overlay.materialize()
+            for workload, state in states.items():
+                ins, dels = net_delta(overlay.batches[state.seq:])
+                answer, stats = incremental_update(
+                    workload, overlay, state, ins, dels
+                )
+                assert state.seq == overlay.delta_seq
+                cold = cold_answer(workload, merged, source=source)
+                if workload == "pr":
+                    np.testing.assert_allclose(
+                        answer, cold, atol=PR_ATOL, rtol=0
+                    )
+                else:
+                    assert np.array_equal(answer, cold), (
+                        workload, stats
+                    )
+
+    @given(seed=st.integers(0, 999), lag=st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_stale_state_catches_up_across_batches(self, seed, lag):
+        """A state left behind by several batches catches up in one
+        net-delta pass and still matches cold recomputation."""
+        base = rmat(7, 4, seed=seed)
+        overlay = DeltaOverlayGraph(base, base_digest="test")
+        rng = np.random.default_rng(seed + 1)
+        source = int(np.argmax(base.out_degrees()))
+        state = seed_state("bfs", overlay, source=source)[0]
+        pr_state = seed_state("pr", overlay)[0]
+
+        for _ in range(lag):
+            batch = random_batch(overlay, rng, 6, 3)
+            if not batch.empty:
+                overlay.apply(batch)
+
+        merged = overlay.materialize()
+        ins, dels = net_delta(overlay.batches[state.seq:])
+        answer, _ = incremental_update("bfs", overlay, state, ins, dels)
+        assert np.array_equal(
+            answer, cold_answer("bfs", merged, source=source)
+        )
+        ins, dels = net_delta(overlay.batches[pr_state.seq:])
+        answer, _ = incremental_update("pr", overlay, pr_state, ins, dels)
+        np.testing.assert_allclose(
+            answer, cold_answer("pr", merged), atol=PR_ATOL, rtol=0
+        )
+
+    @given(seed=st.integers(0, 99))
+    @settings(max_examples=10, deadline=None)
+    def test_insert_only_never_falls_back(self, seed):
+        """Pure insertions are always safe for every workload."""
+        base = rmat(6, 4, seed=seed)
+        overlay = DeltaOverlayGraph(base, base_digest="test")
+        rng = np.random.default_rng(seed)
+        source = int(np.argmax(base.out_degrees()))
+        states = {
+            "bfs": seed_state("bfs", overlay, source=source)[0],
+            "cc": seed_state("cc", overlay)[0],
+            "pr": seed_state("pr", overlay)[0],
+        }
+        batch = random_batch(overlay, rng, 10, 0)
+        if batch.empty:
+            return
+        overlay.apply(batch)
+        for workload, state in states.items():
+            ins, dels = net_delta(overlay.batches[state.seq:])
+            _, stats = incremental_update(
+                workload, overlay, state, ins, dels
+            )
+            assert stats["fallback"] == 0, workload
+
+    def test_tight_bfs_deletion_falls_back_and_still_matches(self):
+        # 0->1->2 chain: deleting 1->2 lengthens 2's distance.
+        from repro.graph.csr import CSRGraph
+
+        base = CSRGraph.from_edges(
+            np.array([0, 1, 0]), np.array([1, 2, 2]), 3
+        )
+        overlay = DeltaOverlayGraph(base, base_digest="test")
+        state = seed_state("bfs", overlay, source=0)[0]
+        overlay.apply(EdgeDeltaBatch(deletes=[(0, 2)]))
+        # 0->2 was tight (dist[2] == dist[0] + 1): must fall back.
+        ins, dels = net_delta(overlay.batches[state.seq:])
+        answer, stats = incremental_update(
+            "bfs", overlay, state, ins, dels
+        )
+        assert stats["fallback"] == 1
+        assert np.array_equal(
+            answer, cold_answer("bfs", overlay.materialize(), source=0)
+        )
+        assert answer.tolist() == [0, 1, 2]
